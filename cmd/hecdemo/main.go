@@ -1,0 +1,217 @@
+// Command hecdemo is the terminal equivalent of the paper's GUI demo
+// (Fig. 3): it builds a system, then streams the result panel — per-sample
+// raw-signal summary, detection vs ground truth, delay and chosen layer,
+// and the running accuracy/F1 — for a user-selected scheme, with tunable
+// dataset fractions, exactly the knobs the GUI exposes.
+//
+// Usage:
+//
+//	hecdemo -data univariate -scheme adaptive -rate 20
+//	hecdemo -data multivariate -scheme successive -anomaly-fraction 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/hec"
+	"repro/internal/mat"
+)
+
+func main() {
+	var (
+		data     = flag.String("data", "univariate", "dataset: univariate | multivariate")
+		scheme   = flag.String("scheme", "adaptive", "scheme: iot | edge | cloud | successive | adaptive")
+		rate     = flag.Float64("rate", 50, "samples per second to stream (0 = no pacing)")
+		fraction = flag.Float64("anomaly-fraction", -1, "resample the test stream to this anomaly fraction (-1 keeps the split)")
+		fast     = flag.Bool("fast", true, "reduced-scale build")
+		limit    = flag.Int("limit", 0, "stop after N samples (0 = all)")
+	)
+	flag.Parse()
+	if err := run(*data, *scheme, *rate, *fraction, *fast, *limit); err != nil {
+		fmt.Fprintln(os.Stderr, "hecdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, schemeName string, rate, fraction float64, fast bool, limit int) error {
+	fmt.Printf("building %s system...\n", data)
+	var sys *repro.System
+	var err error
+	switch strings.ToLower(data) {
+	case "univariate", "uni":
+		opt := repro.DefaultUnivariateOptions()
+		if fast {
+			opt = repro.FastUnivariateOptions()
+		}
+		sys, err = repro.BuildUnivariate(opt)
+	case "multivariate", "multi":
+		opt := repro.DefaultMultivariateOptions()
+		if fast {
+			opt = repro.FastMultivariateOptions()
+		}
+		sys, err = repro.BuildMultivariate(opt)
+	default:
+		return fmt.Errorf("unknown -data %q", data)
+	}
+	if err != nil {
+		return err
+	}
+
+	var sch hec.Scheme
+	switch strings.ToLower(schemeName) {
+	case "iot":
+		sch = hec.Fixed{Layer: hec.LayerIoT}
+	case "edge":
+		sch = hec.Fixed{Layer: hec.LayerEdge}
+	case "cloud":
+		sch = hec.Fixed{Layer: hec.LayerCloud}
+	case "successive":
+		sch = hec.Successive{}
+	case "adaptive", "ours":
+		sch = hec.Adaptive{Policy: sys.Policy}
+	default:
+		return fmt.Errorf("unknown -scheme %q", schemeName)
+	}
+
+	res, err := sys.ResultPanel(sch)
+	if err != nil {
+		return err
+	}
+	order := streamOrder(res, fraction)
+	if limit > 0 && limit < len(order) {
+		order = order[:limit]
+	}
+
+	fmt.Printf("\n=== %s | scheme: %s | %d samples ===\n", data, sch.Name(), len(order))
+	fmt.Printf("%-6s %-28s %-5s %-5s %-10s %-6s %-18s\n",
+		"i", "signal (min/mean/max)", "det", "truth", "delay(ms)", "layer", "cumulative acc/F1")
+	var pace time.Duration
+	if rate > 0 {
+		pace = time.Duration(float64(time.Second) / rate)
+	}
+	var conf cumulative
+	for n, i := range order {
+		sig := signalSummary(sys.TestSamples[i].Frames)
+		conf.add(res.Predictions[i], res.Truths[i])
+		marker := " "
+		if res.Predictions[i] != res.Truths[i] {
+			marker = "✗"
+		}
+		fmt.Printf("%-6d %-28s %-5d %-5d %-10.1f %-6v acc=%.3f f1=%.3f %s\n",
+			n, sig, b2i(res.Predictions[i]), b2i(res.Truths[i]),
+			res.DelaysMs[i], res.Layers[i], conf.accuracy(), conf.f1(), marker)
+		if pace > 0 {
+			time.Sleep(pace)
+		}
+	}
+	fmt.Printf("\nfinal: %d samples, accuracy %.4f, F1 %.4f, mean delay %.1f ms\n",
+		len(order), conf.accuracy(), conf.f1(), meanAt(res, order))
+	shares := res.LayerShares()
+	fmt.Printf("layer shares: IoT %.2f / Edge %.2f / Cloud %.2f\n",
+		shares[hec.LayerIoT], shares[hec.LayerEdge], shares[hec.LayerCloud])
+	return nil
+}
+
+// streamOrder returns the indices to stream. With fraction in [0,1] it
+// resamples (with replacement) to approximate the requested anomaly share,
+// mimicking the GUI's normal/abnormal sliders; -1 keeps the natural split.
+func streamOrder(res *hec.Result, fraction float64) []int {
+	n := len(res.Truths)
+	if fraction < 0 || fraction > 1 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	var anomalies, normals []int
+	for i, truth := range res.Truths {
+		if truth {
+			anomalies = append(anomalies, i)
+		} else {
+			normals = append(normals, i)
+		}
+	}
+	if len(anomalies) == 0 || len(normals) == 0 {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	rng := rand.New(rand.NewSource(99))
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < fraction {
+			order = append(order, anomalies[rng.Intn(len(anomalies))])
+		} else {
+			order = append(order, normals[rng.Intn(len(normals))])
+		}
+	}
+	return order
+}
+
+func signalSummary(frames [][]float64) string {
+	flat := make([]float64, 0, len(frames))
+	for _, f := range frames {
+		flat = append(flat, f[0])
+	}
+	min, max := mat.MinMaxVec(flat)
+	return fmt.Sprintf("%7.2f /%7.2f /%7.2f", min, mat.MeanVec(flat), max)
+}
+
+type cumulative struct{ tp, fp, tn, fn int }
+
+func (c *cumulative) add(pred, truth bool) {
+	switch {
+	case pred && truth:
+		c.tp++
+	case pred && !truth:
+		c.fp++
+	case !pred && !truth:
+		c.tn++
+	default:
+		c.fn++
+	}
+}
+
+func (c *cumulative) accuracy() float64 {
+	t := c.tp + c.fp + c.tn + c.fn
+	if t == 0 {
+		return 0
+	}
+	return float64(c.tp+c.tn) / float64(t)
+}
+
+func (c *cumulative) f1() float64 {
+	if c.tp == 0 {
+		return 0
+	}
+	p := float64(c.tp) / float64(c.tp+c.fp)
+	r := float64(c.tp) / float64(c.tp+c.fn)
+	return 2 * p * r / (p + r)
+}
+
+func meanAt(res *hec.Result, order []int) float64 {
+	if len(order) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range order {
+		s += res.DelaysMs[i]
+	}
+	return s / float64(len(order))
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

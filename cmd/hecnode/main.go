@@ -1,0 +1,158 @@
+// Command hecnode runs one HEC layer's detection service over TCP, the
+// building block of a live distributed deployment: start an edge node and a
+// cloud node, then point examples/cluster (or your own client) at them.
+//
+// The node trains its layer's model locally at startup (models are small
+// and the datasets synthetic, so this replaces shipping weight files), then
+// serves keep-alive detection requests.
+//
+// Usage:
+//
+//	hecnode -layer edge -data univariate -addr 127.0.0.1:7101
+//	hecnode -layer cloud -data univariate -addr 127.0.0.1:7102
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/anomaly"
+	"repro/internal/autoencoder"
+	"repro/internal/dataset"
+	"repro/internal/hec"
+	"repro/internal/seq2seq"
+)
+
+func main() {
+	var (
+		layer = flag.String("layer", "edge", "layer this node plays: iot | edge | cloud")
+		data  = flag.String("data", "univariate", "dataset: univariate | multivariate")
+		addr  = flag.String("addr", "127.0.0.1:0", "listen address")
+		seed  = flag.Int64("seed", 1, "training seed (use the same across nodes)")
+	)
+	flag.Parse()
+	if err := run(*layer, *data, *addr, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "hecnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(layerName, data, addr string, seed int64) error {
+	l, err := parseLayer(layerName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training %s model for layer %v...\n", data, l)
+	det, recurrent, err := trainDetector(l, data, seed)
+	if err != nil {
+		return err
+	}
+	top := hec.DefaultTopology()
+	execMs := func(frames int) float64 {
+		t, err := top.ExecTimeMs(l, det, frames, recurrent)
+		if err != nil {
+			return 0
+		}
+		return t
+	}
+
+	srv, err := serveDetector(addr, det, execMs)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("hecnode: %s (%s) serving on %s\n", det.Name(), l, srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("hecnode: shutting down")
+	return nil
+}
+
+func parseLayer(s string) (hec.Layer, error) {
+	switch strings.ToLower(s) {
+	case "iot":
+		return hec.LayerIoT, nil
+	case "edge":
+		return hec.LayerEdge, nil
+	case "cloud":
+		return hec.LayerCloud, nil
+	default:
+		return 0, fmt.Errorf("unknown -layer %q", s)
+	}
+}
+
+// trainDetector builds and fits the model that belongs at layer l for the
+// chosen dataset, using the shared seed so every node trains on identical
+// data.
+func trainDetector(l hec.Layer, data string, seed int64) (anomaly.Detector, bool, error) {
+	tier := [hec.NumLayers]autoencoder.Tier{
+		autoencoder.TierIoT, autoencoder.TierEdge, autoencoder.TierCloud,
+	}[l]
+	switch strings.ToLower(data) {
+	case "univariate", "uni":
+		cfg := dataset.DefaultPowerConfig()
+		cfg.TrainWeeks = 40
+		cfg.Seed = seed
+		ds, err := dataset.GeneratePower(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		train := make([][]float64, len(ds.Train))
+		for i, s := range ds.Train {
+			train[i] = s.Values
+		}
+		rng := rand.New(rand.NewSource(seed + int64(l)))
+		m, err := autoencoder.New(tier, dataset.ReadingsPerWeek, rng)
+		if err != nil {
+			return nil, false, err
+		}
+		tc := autoencoder.DefaultTrainConfig()
+		tc.Epochs = 25
+		if _, err := m.Fit(train, tc, rng); err != nil {
+			return nil, false, err
+		}
+		if l != hec.LayerCloud {
+			m.Quantize()
+		}
+		return m, false, nil
+	case "multivariate", "multi":
+		cfg := dataset.DefaultMHealthConfig()
+		cfg.Subjects = 3
+		cfg.WalkSeconds = 40
+		cfg.Seed = seed
+		ds, err := dataset.GenerateMHealth(cfg)
+		if err != nil {
+			return nil, false, err
+		}
+		train := make([][][]float64, 0, 60)
+		for i, s := range ds.Train {
+			if i >= 60 {
+				break
+			}
+			train = append(train, s.Frames)
+		}
+		rng := rand.New(rand.NewSource(seed + int64(l)))
+		m, err := seq2seq.New(tier, seq2seq.DefaultSizing(), rng)
+		if err != nil {
+			return nil, false, err
+		}
+		tc := seq2seq.DefaultTrainConfig()
+		tc.Epochs = 3
+		if _, err := m.Fit(train, tc, rng); err != nil {
+			return nil, false, err
+		}
+		if l != hec.LayerCloud {
+			m.Quantize()
+		}
+		return m, true, nil
+	default:
+		return nil, false, fmt.Errorf("unknown -data %q", data)
+	}
+}

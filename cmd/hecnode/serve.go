@@ -1,0 +1,12 @@
+package main
+
+import (
+	"repro/internal/anomaly"
+	"repro/internal/transport"
+)
+
+// serveDetector wraps transport.Serve; split out so main stays readable and
+// the wiring is unit-testable.
+func serveDetector(addr string, det anomaly.Detector, execMs func(int) float64) (*transport.Server, error) {
+	return transport.Serve(addr, det, execMs)
+}

@@ -1,0 +1,150 @@
+// Package anomaly implements the paper's anomaly-scoring pipeline: fit a
+// Gaussian N(µ, Σ) to the reconstruction errors of normal data, use the log
+// probability density (logPD) of each point's reconstruction error as its
+// anomaly score, threshold at the minimum logPD seen on the training set,
+// and apply the paper's two-part confidence rule for the Successive scheme.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Verdict is the outcome of judging one window of data.
+type Verdict struct {
+	// Anomaly reports whether the window is flagged anomalous (at least one
+	// point scored below the detection threshold).
+	Anomaly bool
+	// Confident reports whether the detection meets the paper's confidence
+	// conditions: (i) some point's logPD is below Factor× the threshold, or
+	// (ii) more than Fraction of the window's points are anomalous. The
+	// Successive scheme stops escalating on a confident verdict.
+	Confident bool
+	// MinLogPD is the most anomalous (lowest) point score in the window.
+	MinLogPD float64
+	// AnomalousFraction is the share of points scoring below the threshold.
+	AnomalousFraction float64
+}
+
+// Confidence parameterises the confident-detection rule. The paper's
+// example values are Factor = 2 and Fraction = 0.05.
+type Confidence struct {
+	// Factor scales the (negative) threshold for condition (i); a point
+	// with logPD < Factor·threshold is extreme enough to be confident.
+	Factor float64
+	// Fraction is the share of anomalous points beyond which condition (ii)
+	// declares confidence.
+	Fraction float64
+}
+
+// DefaultConfidence matches the example parameters given in the paper.
+func DefaultConfidence() Confidence { return Confidence{Factor: 2, Fraction: 0.05} }
+
+// Scorer converts per-point reconstruction-error vectors into logPD scores
+// and window verdicts. Fit it on the reconstruction errors of *normal*
+// training data only.
+type Scorer struct {
+	gauss *mat.Gaussian
+	// Threshold is the minimum logPD observed on the normal training
+	// errors — the paper's outlier threshold. Scores below it are anomalous.
+	Threshold float64
+}
+
+// ErrNoErrors is returned when fitting a scorer with no error samples.
+var ErrNoErrors = errors.New("anomaly: no reconstruction errors to fit")
+
+// FitScorer fits the error Gaussian and detection threshold. errs holds one
+// reconstruction-error vector per data point (dimension 1 for univariate
+// data, D for multivariate). reg is the covariance ridge passed through to
+// the Gaussian fit.
+func FitScorer(errs [][]float64, reg float64) (*Scorer, error) {
+	if len(errs) == 0 {
+		return nil, ErrNoErrors
+	}
+	g, err := mat.FitGaussian(errs, reg)
+	if err != nil {
+		return nil, fmt.Errorf("anomaly: fitting error distribution: %w", err)
+	}
+	s := &Scorer{gauss: g}
+	min := 0.0
+	for i, e := range errs {
+		lp, err := g.LogPDF(e)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || lp < min {
+			min = lp
+		}
+	}
+	s.Threshold = min
+	return s, nil
+}
+
+// Score returns the logPD anomaly score of one error vector (more negative
+// means more anomalous).
+func (s *Scorer) Score(errVec []float64) (float64, error) {
+	return s.gauss.LogPDF(errVec)
+}
+
+// ScoreAll scores every error vector in a window.
+func (s *Scorer) ScoreAll(errVecs [][]float64) ([]float64, error) {
+	out := make([]float64, len(errVecs))
+	for i, e := range errVecs {
+		lp, err := s.gauss.LogPDF(e)
+		if err != nil {
+			return nil, fmt.Errorf("anomaly: scoring point %d: %w", i, err)
+		}
+		out[i] = lp
+	}
+	return out, nil
+}
+
+// Dim returns the error-vector dimensionality the scorer was fitted on.
+func (s *Scorer) Dim() int { return s.gauss.Dim() }
+
+// Judge applies the detection threshold and confidence rule to a window's
+// point scores.
+func (s *Scorer) Judge(scores []float64, conf Confidence) Verdict {
+	if len(scores) == 0 {
+		return Verdict{}
+	}
+	v := Verdict{MinLogPD: scores[0]}
+	anomalous := 0
+	for _, sc := range scores {
+		if sc < v.MinLogPD {
+			v.MinLogPD = sc
+		}
+		if sc < s.Threshold {
+			anomalous++
+		}
+	}
+	v.AnomalousFraction = float64(anomalous) / float64(len(scores))
+	v.Anomaly = anomalous > 0
+	// Condition (i): an extreme point. The threshold is negative (it is a
+	// log density of a continuous distribution at its tail), so Factor×
+	// moves it further into the tail.
+	extreme := v.MinLogPD < conf.Factor*s.Threshold
+	// Condition (ii): many anomalous points.
+	many := v.AnomalousFraction > conf.Fraction
+	v.Confident = extreme || many
+	return v
+}
+
+// Detector is one anomaly-detection model deployed at an HEC layer: it
+// consumes a window of frames (T×D; univariate data uses D = 1) and returns
+// a verdict. Implementations wrap a reconstruction model plus a fitted
+// Scorer.
+type Detector interface {
+	// Name identifies the model (e.g. "AE-IoT", "BiLSTM-seq2seq-Cloud").
+	Name() string
+	// Detect judges one window.
+	Detect(frames [][]float64) (Verdict, error)
+	// NumParams reports the trainable-parameter count (the paper's
+	// "#Parameters", a memory-footprint proxy).
+	NumParams() int
+	// FlopsPerWindow estimates inference cost for a T-frame window, which
+	// the HEC compute model turns into execution time.
+	FlopsPerWindow(T int) int64
+}

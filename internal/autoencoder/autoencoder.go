@@ -1,0 +1,238 @@
+// Package autoencoder builds the paper's univariate anomaly-detection
+// suite: three autoencoders of increasing depth — AE-IoT (3 layers),
+// AE-Edge (5 layers) and AE-Cloud (7 layers) — each paired with a Gaussian
+// logPD scorer fitted on its reconstruction errors over normal training
+// weeks.
+//
+// Layer counts follow the Keras convention the paper uses (input, hidden…,
+// output), so AE-IoT has one hidden layer, AE-Edge three and AE-Cloud five.
+// Widths are scaled to the synthetic power dataset's 672-reading weekly
+// window while preserving the paper's strict capacity ordering
+// IoT < Edge < Cloud (see DESIGN.md §2).
+package autoencoder
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/anomaly"
+	"repro/internal/nn"
+)
+
+// Tier identifies the HEC layer a model is built for.
+type Tier int
+
+// The three tiers, bottom (IoT) to top (Cloud).
+const (
+	TierIoT Tier = iota + 1
+	TierEdge
+	TierCloud
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case TierIoT:
+		return "IoT"
+	case TierEdge:
+		return "Edge"
+	case TierCloud:
+		return "Cloud"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Model is one autoencoder anomaly detector.
+type Model struct {
+	// ModelName is the paper's model name, e.g. "AE-IoT".
+	ModelName string
+	// Net is the underlying dense network.
+	Net *nn.Sequential
+	// Scorer is set by Fit; nil until the model is trained.
+	Scorer *anomaly.Scorer
+	// Conf is the confidence rule used by Detect.
+	Conf anomaly.Confidence
+
+	inputDim int
+}
+
+// hidden widths per tier for a 672-wide input; each tier strictly grows
+// both depth and parameter count. The bottlenecks are sized against the
+// synthetic power data's intrinsic variation (~27 jitter parameters per
+// week): AE-IoT's bottleneck (6) cannot encode the natural day-shape
+// jitter, AE-Edge's (16) captures most of it, and AE-Cloud's (32, behind
+// wider codecs) captures all of it — which is what grades their detection
+// of subtle anomalies.
+func tierWidths(tier Tier, inputDim int) ([]int, error) {
+	switch tier {
+	case TierIoT:
+		return []int{inputDim / 112}, nil // 672 -> 6
+	case TierEdge:
+		return []int{inputDim / 14, inputDim / 42, inputDim / 14}, nil // 48-16-48
+	case TierCloud:
+		return []int{inputDim / 2, inputDim / 6, inputDim / 21, inputDim / 6, inputDim / 2}, nil // 336-112-32-112-336
+	default:
+		return nil, fmt.Errorf("autoencoder: unknown tier %d", int(tier))
+	}
+}
+
+// New builds an untrained autoencoder for the given HEC tier and input
+// width.
+func New(tier Tier, inputDim int, rng *rand.Rand) (*Model, error) {
+	if inputDim < 42 {
+		return nil, fmt.Errorf("autoencoder: input dim %d too small", inputDim)
+	}
+	widths, err := tierWidths(tier, inputDim)
+	if err != nil {
+		return nil, err
+	}
+	var layers []nn.Layer
+	prev := inputDim
+	for _, w := range widths {
+		layers = append(layers, nn.NewDense(prev, w, rng), nn.NewActivation(nn.ActReLU))
+		prev = w
+	}
+	layers = append(layers, nn.NewDense(prev, inputDim, rng)) // linear output
+	return &Model{
+		ModelName: "AE-" + tier.String(),
+		Net:       nn.NewSequential(layers...),
+		Conf:      anomaly.DefaultConfidence(),
+		inputDim:  inputDim,
+	}, nil
+}
+
+// TrainConfig parameterises Fit.
+type TrainConfig struct {
+	// Epochs over the training set.
+	Epochs int
+	// LR is the Adam learning rate.
+	LR float64
+	// WeightDecay is the ℓ2 kernel regularisation (the paper uses 1e-4).
+	WeightDecay float64
+	// ScorerReg is the ridge added to the error Gaussian's covariance.
+	ScorerReg float64
+}
+
+// DefaultTrainConfig returns the settings used by the benchmark harness.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 40, LR: 1e-3, WeightDecay: 1e-4, ScorerReg: 1e-6}
+}
+
+// Fit trains the autoencoder on normal weeks (each a slice of inputDim
+// standardised readings), then fits the logPD scorer and threshold on the
+// training reconstruction errors. It returns the final mean training loss.
+func (m *Model) Fit(train [][]float64, cfg TrainConfig, rng *rand.Rand) (float64, error) {
+	if len(train) == 0 {
+		return 0, fmt.Errorf("autoencoder: empty training set")
+	}
+	if cfg.Epochs <= 0 {
+		return 0, fmt.Errorf("autoencoder: epochs must be positive")
+	}
+	// Adam converges markedly faster than RMSProp on the deeper AE stacks
+	// at these widths; the paper's AE training details live in its ref [3],
+	// so the optimiser choice is ours to make.
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.ClipNorm = 5
+
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+	var last float64
+	for e := 0; e < cfg.Epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var total float64
+		for _, idx := range order {
+			x := train[idx]
+			out, err := m.Net.Forward(x, true)
+			if err != nil {
+				return 0, fmt.Errorf("training %s: %w", m.ModelName, err)
+			}
+			loss, grad, err := nn.MSELoss(out, x)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := m.Net.Backward(grad); err != nil {
+				return 0, err
+			}
+			if err := opt.Step(m.Net.Params()); err != nil {
+				return 0, err
+			}
+			total += loss
+		}
+		last = total / float64(len(train))
+	}
+
+	// Fit the scorer on per-point reconstruction errors of the training set.
+	var errs [][]float64
+	for _, x := range train {
+		e, err := m.pointErrors(x)
+		if err != nil {
+			return 0, err
+		}
+		errs = append(errs, e...)
+	}
+	scorer, err := anomaly.FitScorer(errs, cfg.ScorerReg)
+	if err != nil {
+		return 0, fmt.Errorf("fitting scorer for %s: %w", m.ModelName, err)
+	}
+	m.Scorer = scorer
+	return last, nil
+}
+
+// pointErrors reconstructs x and returns the per-point scalar error
+// vectors ([e_i] per reading).
+func (m *Model) pointErrors(x []float64) ([][]float64, error) {
+	rec, err := m.Net.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(x))
+	for i := range x {
+		out[i] = []float64{rec[i] - x[i]}
+	}
+	return out, nil
+}
+
+// Name implements anomaly.Detector.
+func (m *Model) Name() string { return m.ModelName }
+
+// Detect implements anomaly.Detector for frames of width 1 (univariate).
+func (m *Model) Detect(frames [][]float64) (anomaly.Verdict, error) {
+	if m.Scorer == nil {
+		return anomaly.Verdict{}, fmt.Errorf("autoencoder: %s not fitted", m.ModelName)
+	}
+	if len(frames) != m.inputDim {
+		return anomaly.Verdict{}, fmt.Errorf("autoencoder: %s expects %d frames, got %d", m.ModelName, m.inputDim, len(frames))
+	}
+	x := make([]float64, len(frames))
+	for i, f := range frames {
+		if len(f) != 1 {
+			return anomaly.Verdict{}, fmt.Errorf("autoencoder: univariate frame has %d dims", len(f))
+		}
+		x[i] = f[0]
+	}
+	errs, err := m.pointErrors(x)
+	if err != nil {
+		return anomaly.Verdict{}, err
+	}
+	scores, err := m.Scorer.ScoreAll(errs)
+	if err != nil {
+		return anomaly.Verdict{}, err
+	}
+	return m.Scorer.Judge(scores, m.Conf), nil
+}
+
+// NumParams implements anomaly.Detector.
+func (m *Model) NumParams() int { return m.Net.NumParams() }
+
+// FlopsPerWindow implements anomaly.Detector; for an autoencoder the
+// window length is fixed by the input width, so T is ignored.
+func (m *Model) FlopsPerWindow(int) int64 { return m.Net.FlopsDense() }
+
+// Quantize applies FP16 compression to the model weights, reproducing the
+// paper's deployment step for IoT- and edge-hosted models. Returns the
+// worst-case rounding error.
+func (m *Model) Quantize() float64 { return nn.QuantizeParamsFP16(m.Net.Params()) }

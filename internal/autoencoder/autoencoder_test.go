@@ -1,0 +1,235 @@
+package autoencoder
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// tinyPower generates a small dataset shared across tests in this package.
+func tinyPower(t *testing.T) *dataset.PowerDataset {
+	t.Helper()
+	ds, err := dataset.GeneratePower(dataset.PowerConfig{
+		TrainWeeks: 24, TestWeeks: 30, PolicyWeeks: 4,
+		AnomalyRate: 0.5, Noise: 0.03, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func trainValues(ds *dataset.PowerDataset) [][]float64 {
+	out := make([][]float64, len(ds.Train))
+	for i, s := range ds.Train {
+		out[i] = s.Values
+	}
+	return out
+}
+
+func framesOf(s dataset.UniSample) [][]float64 {
+	frames := make([][]float64, len(s.Values))
+	for i, v := range s.Values {
+		frames[i] = []float64{v}
+	}
+	return frames
+}
+
+func TestTierString(t *testing.T) {
+	if TierIoT.String() != "IoT" || TierEdge.String() != "Edge" || TierCloud.String() != "Cloud" {
+		t.Fatal("tier names wrong")
+	}
+	if Tier(9).String() != "Tier(9)" {
+		t.Fatal("out-of-range tier name wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(TierIoT, 10, rng); err == nil {
+		t.Fatal("tiny input dim must be rejected")
+	}
+	if _, err := New(Tier(9), dataset.ReadingsPerWeek, rng); err == nil {
+		t.Fatal("unknown tier must be rejected")
+	}
+}
+
+func TestCapacityOrderingMatchesPaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	iot, err := New(TierIoT, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := New(TierEdge, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := New(TierCloud, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 1a: 3, 5, 7 layers → 1, 3, 5 hidden Dense layers (plus the
+	// output layer and activations).
+	if got := len(iot.Net.Layers); got != 3 { // Dense+Tanh+Dense
+		t.Fatalf("AE-IoT has %d net layers", got)
+	}
+	if got := len(edge.Net.Layers); got != 7 {
+		t.Fatalf("AE-Edge has %d net layers", got)
+	}
+	if got := len(cloud.Net.Layers); got != 11 {
+		t.Fatalf("AE-Cloud has %d net layers", got)
+	}
+	if !(iot.NumParams() < edge.NumParams() && edge.NumParams() < cloud.NumParams()) {
+		t.Fatalf("params not increasing: %d %d %d", iot.NumParams(), edge.NumParams(), cloud.NumParams())
+	}
+	if !(iot.FlopsPerWindow(0) < edge.FlopsPerWindow(0) && edge.FlopsPerWindow(0) < cloud.FlopsPerWindow(0)) {
+		t.Fatal("flops not increasing")
+	}
+	if iot.Name() != "AE-IoT" || cloud.Name() != "AE-Cloud" {
+		t.Fatal("model names wrong")
+	}
+}
+
+func TestDetectBeforeFitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := New(TierIoT, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tinyPower(t)
+	if _, err := m.Detect(framesOf(ds.Test[0])); err == nil {
+		t.Fatal("Detect before Fit must error")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := New(TierIoT, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(nil, DefaultTrainConfig(), rng); err == nil {
+		t.Fatal("empty training set must be rejected")
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 0
+	if _, err := m.Fit([][]float64{make([]float64, dataset.ReadingsPerWeek)}, cfg, rng); err == nil {
+		t.Fatal("zero epochs must be rejected")
+	}
+}
+
+// TestFitAndDetect trains the small AE-IoT model and checks it detects easy
+// anomalies while keeping false positives low — the end-to-end univariate
+// pipeline at reduced scale.
+func TestFitAndDetect(t *testing.T) {
+	ds := tinyPower(t)
+	rng := rand.New(rand.NewSource(5))
+	m, err := New(TierIoT, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 25
+	loss, err := m.Fit(trainValues(ds), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("final loss = %g", loss)
+	}
+	if m.Scorer == nil {
+		t.Fatal("Fit must attach a scorer")
+	}
+
+	var missedEasy, falsePos, normals, easies int
+	for _, s := range ds.Test {
+		v, err := m.Detect(framesOf(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case !s.Label:
+			normals++
+			if v.Anomaly {
+				falsePos++
+			}
+		case s.Hardness == dataset.HardnessEasy:
+			easies++
+			if !v.Anomaly {
+				missedEasy++
+			}
+		}
+	}
+	if easies == 0 || normals == 0 {
+		t.Skip("test split lacks both classes")
+	}
+	if missedEasy > easies/3 {
+		t.Fatalf("missed %d of %d easy anomalies", missedEasy, easies)
+	}
+	if falsePos > normals/3 {
+		t.Fatalf("%d false positives on %d normals", falsePos, normals)
+	}
+}
+
+func TestDetectRejectsBadShapes(t *testing.T) {
+	ds := tinyPower(t)
+	rng := rand.New(rand.NewSource(6))
+	m, err := New(TierIoT, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 2
+	if _, err := m.Fit(trainValues(ds), cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Detect([][]float64{{1}, {2}}); err == nil {
+		t.Fatal("short window must be rejected")
+	}
+	bad := framesOf(ds.Test[0])
+	bad[0] = []float64{1, 2}
+	if _, err := m.Detect(bad); err == nil {
+		t.Fatal("multi-dim frames must be rejected")
+	}
+}
+
+// TestQuantizePreservesDetection reproduces the paper's observation that
+// FP16 compression does not change detection performance.
+func TestQuantizePreservesDetection(t *testing.T) {
+	ds := tinyPower(t)
+	rng := rand.New(rand.NewSource(7))
+	m, err := New(TierIoT, dataset.ReadingsPerWeek, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 15
+	if _, err := m.Fit(trainValues(ds), cfg, rng); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]bool, len(ds.Test))
+	for i, s := range ds.Test {
+		v, err := m.Detect(framesOf(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = v.Anomaly
+	}
+	if worst := m.Quantize(); worst > 0.01 {
+		t.Fatalf("quantisation error %g unexpectedly large", worst)
+	}
+	changed := 0
+	for i, s := range ds.Test {
+		v, err := m.Detect(framesOf(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Anomaly != before[i] {
+			changed++
+		}
+	}
+	if changed > len(ds.Test)/20 {
+		t.Fatalf("FP16 quantisation flipped %d of %d verdicts", changed, len(ds.Test))
+	}
+}

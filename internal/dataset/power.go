@@ -1,0 +1,309 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Power-demand generator constants: 15-minute readings, so 96 per day and
+// 672 per week. A detection sample is one week, matching the 52-sample
+// univariate test set reverse-engineered from the paper's Table II.
+const (
+	// ReadingsPerDay is the number of 15-minute readings in a day.
+	ReadingsPerDay = 96
+	// DaysPerWeek is the number of days in a weekly detection sample.
+	DaysPerWeek = 7
+	// ReadingsPerWeek is the length of one univariate detection sample.
+	ReadingsPerWeek = ReadingsPerDay * DaysPerWeek
+)
+
+// UniSample is one univariate detection sample: a standardised week of
+// power-demand readings.
+type UniSample struct {
+	// Values holds ReadingsPerWeek standardised readings.
+	Values []float64
+	// Label is true when the week contains an injected anomaly.
+	Label bool
+	// Hardness grades the injected anomaly (HardnessNone for normal weeks).
+	Hardness Hardness
+}
+
+// PowerConfig parameterises the synthetic power-demand dataset.
+type PowerConfig struct {
+	// TrainWeeks is the number of all-normal training weeks (the paper
+	// trains on normal data only). Typical: 104 (two years).
+	TrainWeeks int
+	// TestWeeks is the number of evaluation weeks. Typical: 52 (one year),
+	// matching the paper's univariate test-set size.
+	TestWeeks int
+	// PolicyWeeks is the number of weeks generated for policy-network
+	// training (anomaly-bearing, like the test set).
+	PolicyWeeks int
+	// AnomalyRate is the fraction of test/policy weeks that carry an
+	// injected anomaly.
+	AnomalyRate float64
+	// Noise is the relative standard deviation of measurement noise.
+	Noise float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultPowerConfig returns the configuration used by the benchmark
+// harness: two training years, one 52-week test year, one policy year,
+// 35% anomalous weeks, 4% noise.
+func DefaultPowerConfig() PowerConfig {
+	return PowerConfig{
+		TrainWeeks:  260,
+		TestWeeks:   52,
+		PolicyWeeks: 52,
+		AnomalyRate: 0.35,
+		Noise:       0.04,
+		Seed:        1,
+	}
+}
+
+// PowerDataset is the generated univariate dataset. Train weeks are all
+// normal; Test and PolicyTrain carry anomalies at the configured rate.
+type PowerDataset struct {
+	Train       []UniSample
+	Test        []UniSample
+	PolicyTrain []UniSample
+	// Standardizer holds the train-set statistics applied to every split.
+	Standardizer *Standardizer
+}
+
+// GeneratePower builds the dataset deterministically from cfg.
+func GeneratePower(cfg PowerConfig) (*PowerDataset, error) {
+	if cfg.TrainWeeks <= 0 || cfg.TestWeeks <= 0 {
+		return nil, fmt.Errorf("dataset: power config needs positive week counts, got %+v", cfg)
+	}
+	if cfg.AnomalyRate < 0 || cfg.AnomalyRate > 1 {
+		return nil, fmt.Errorf("dataset: anomaly rate %g out of [0,1]", cfg.AnomalyRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	train := make([]UniSample, cfg.TrainWeeks)
+	for i := range train {
+		train[i] = UniSample{Values: normalWeek(rng, cfg.Noise)}
+	}
+
+	gen := func(n int) []UniSample {
+		out := make([]UniSample, n)
+		for i := range out {
+			if rng.Float64() < cfg.AnomalyRate {
+				h := pickHardness(rng)
+				out[i] = UniSample{Values: anomalousWeek(rng, cfg.Noise, h), Label: true, Hardness: h}
+			} else {
+				out[i] = UniSample{Values: normalWeek(rng, cfg.Noise)}
+			}
+		}
+		return out
+	}
+	test := gen(cfg.TestWeeks)
+	policy := gen(cfg.PolicyWeeks)
+
+	// Standardise with train statistics (1-dimensional).
+	flat := make([][]float64, 0, len(train)*ReadingsPerWeek)
+	for _, w := range train {
+		for _, v := range w.Values {
+			flat = append(flat, []float64{v})
+		}
+	}
+	std := FitStandardizer(flat, 1)
+	apply := func(ss []UniSample) {
+		for _, s := range ss {
+			for i, v := range s.Values {
+				s.Values[i] = (v - std.Mean[0]) / std.Std[0]
+			}
+		}
+	}
+	apply(train)
+	apply(test)
+	apply(policy)
+
+	return &PowerDataset{Train: train, Test: test, PolicyTrain: policy, Standardizer: std}, nil
+}
+
+// pickHardness draws an anomaly grade: 40% easy, 35% medium, 25% hard.
+func pickHardness(rng *rand.Rand) Hardness {
+	switch r := rng.Float64(); {
+	case r < 0.40:
+		return HardnessEasy
+	case r < 0.75:
+		return HardnessMedium
+	default:
+		return HardnessHard
+	}
+}
+
+// Texture signatures. Every working day carries one of NumTextures fixed
+// smooth "operating signatures" (think plant production programmes) on top
+// of its double-peak profile. The signature library spans ~16 orthogonal
+// directions, so an autoencoder needs a code wide enough to cover that span
+// to reconstruct normal days sharply: AE-IoT's 6-wide bottleneck cannot,
+// AE-Edge's 16 mostly can, AE-Cloud's 32 fully can. Hard anomalies carry a
+// signature from a held-out library — invisible to a model that never
+// learned signatures, conspicuous to one that did. This is the
+// capacity-graded hardness mechanism of DESIGN.md §2.
+const (
+	// NumTextures is the size of the normal signature library.
+	NumTextures = 16
+	// numAnomalyTextures is the size of the held-out anomalous library.
+	numAnomalyTextures = 8
+	// textureAmp scales signatures relative to the ~2.2 peak amplitude.
+	textureAmp = 0.35
+)
+
+// textureTable holds the fixed signature libraries, generated once from a
+// dedicated seed so they are identical across all dataset seeds.
+var textureTable = buildTextures()
+
+func buildTextures() [NumTextures + numAnomalyTextures][ReadingsPerDay]float64 {
+	rng := rand.New(rand.NewSource(424242))
+	var out [NumTextures + numAnomalyTextures][ReadingsPerDay]float64
+	for p := range out {
+		// Smooth pattern: three harmonics with random frequency (3–9
+		// cycles/day), phase and weight.
+		type harm struct{ f, phi, w float64 }
+		hs := make([]harm, 3)
+		for i := range hs {
+			hs[i] = harm{f: 3 + rng.Float64()*6, phi: rng.Float64() * 2 * math.Pi, w: 0.5 + rng.Float64()}
+		}
+		var rms float64
+		for k := 0; k < ReadingsPerDay; k++ {
+			t := float64(k) / ReadingsPerDay
+			var v float64
+			for _, h := range hs {
+				v += h.w * math.Sin(2*math.Pi*h.f*t+h.phi)
+			}
+			out[p][k] = v
+			rms += v * v
+		}
+		rms = math.Sqrt(rms / ReadingsPerDay)
+		for k := range out[p] {
+			out[p][k] /= rms
+		}
+	}
+	return out
+}
+
+// dayShape holds one working day's profile parameters. Normal days jitter
+// these around their nominal values, so models must learn the manifold of
+// plausible days rather than a single template; anomalies push the
+// parameters (or the whole profile) outside that manifold by a
+// hardness-dependent margin.
+type dayShape struct {
+	morningHour float64 // nominal 9.5
+	eveningHour float64 // nominal 19.0
+	morningAmp  float64 // nominal 2.2
+	eveningAmp  float64 // nominal 1.6
+}
+
+// normalDayShape draws a working day within natural variation: peaks move
+// by ±≈20 minutes and amplitudes by ±≈5%.
+func normalDayShape(rng *rand.Rand) dayShape {
+	return dayShape{
+		morningHour: 9.5 + rng.NormFloat64()*0.33,
+		eveningHour: 19.0 + rng.NormFloat64()*0.33,
+		morningAmp:  2.2 * (1 + rng.NormFloat64()*0.05),
+		eveningAmp:  1.6 * (1 + rng.NormFloat64()*0.05),
+	}
+}
+
+// dayProfile returns the demand at 15-minute slot k of a working day with
+// the given shape: a double-peak profile riding on a base load with a
+// night dip.
+func dayProfile(k int, s dayShape) float64 {
+	t := float64(k) / float64(ReadingsPerDay) * 24 // hour of day
+	base := 1.0
+	morning := s.morningAmp * math.Exp(-((t-s.morningHour)*(t-s.morningHour))/4.5)
+	evening := s.eveningAmp * math.Exp(-((t-s.eveningHour)*(t-s.eveningHour))/3.0)
+	night := -0.35 * math.Exp(-((t-3.5)*(t-3.5))/6.0)
+	return base + morning + evening + night
+}
+
+// weekendProfile is the low, flat weekend demand.
+func weekendProfile(k int) float64 {
+	t := float64(k) / float64(ReadingsPerDay) * 24
+	return 0.9 + 0.35*math.Exp(-((t-12.0)*(t-12.0))/18.0)
+}
+
+// normalWeek renders five working days followed by two weekend days, with
+// per-day shape jitter, a per-day signature from the normal texture
+// library, multiplicative level jitter and additive noise.
+func normalWeek(rng *rand.Rand, noise float64) []float64 {
+	w := make([]float64, 0, ReadingsPerWeek)
+	for d := 0; d < DaysPerWeek; d++ {
+		level := 1 + rng.NormFloat64()*0.02
+		shape := normalDayShape(rng)
+		tex := &textureTable[rng.Intn(NumTextures)]
+		for k := 0; k < ReadingsPerDay; k++ {
+			var v float64
+			if d < 5 {
+				v = dayProfile(k, shape) + textureAmp*tex[k]
+			} else {
+				v = weekendProfile(k)
+			}
+			w = append(w, v*level+rng.NormFloat64()*noise)
+		}
+	}
+	return w
+}
+
+// anomalousWeek injects one anomalous working day into an otherwise normal
+// week. The anomaly type depends on hardness:
+//
+//   - Easy: a power outage — demand collapses to near zero for several
+//     hours. Any model detects it.
+//   - Medium: a holiday — the working day follows the weekend profile (the
+//     classic discord in the Keogh power data: a missing peak). Noticeably
+//     outside the normal manifold, but not extreme point-wise.
+//   - Hard: an off-programme day — the working day runs a signature from
+//     the held-out anomalous library (slightly stronger than normal
+//     signatures) with mildly damped peaks. A model that never learned the
+//     signature manifold cannot tell held-out signatures from normal ones
+//     (both are equally irreconstructible); a model that learned the
+//     manifold reconstructs normal signatures sharply and flags this one.
+func anomalousWeek(rng *rand.Rand, noise float64, h Hardness) []float64 {
+	w := normalWeek(rng, noise)
+	day := rng.Intn(5) // anomaly on a working day
+	off := day * ReadingsPerDay
+	switch h {
+	case HardnessEasy:
+		start := 20 + rng.Intn(30) // outage between 05:00 and 12:30
+		dur := 16 + rng.Intn(24)   // 4–10 hours
+		for k := start; k < start+dur && k < ReadingsPerDay; k++ {
+			w[off+k] = 0.05 + rng.NormFloat64()*noise*0.5
+		}
+	case HardnessMedium:
+		level := 1 + rng.NormFloat64()*0.02
+		for k := 0; k < ReadingsPerDay; k++ {
+			w[off+k] = weekendProfile(k)*level + rng.NormFloat64()*noise
+		}
+	case HardnessHard:
+		damp := 0.88 + rng.Float64()*0.04
+		shape := normalDayShape(rng)
+		shape.morningAmp *= damp
+		shape.eveningAmp *= damp
+		tex := &textureTable[NumTextures+rng.Intn(numAnomalyTextures)]
+		level := 1 + rng.NormFloat64()*0.02
+		for k := 0; k < ReadingsPerDay; k++ {
+			v := dayProfile(k, shape) + 1.6*textureAmp*tex[k]
+			w[off+k] = v*level + rng.NormFloat64()*noise
+		}
+	default:
+		// HardnessNone: leave the week normal (callers should not do this).
+	}
+	return w
+}
+
+// Days splits a weekly sample into its seven day slices (views into the
+// sample's storage, not copies).
+func (s UniSample) Days() [][]float64 {
+	days := make([][]float64, DaysPerWeek)
+	for d := 0; d < DaysPerWeek; d++ {
+		days[d] = s.Values[d*ReadingsPerDay : (d+1)*ReadingsPerDay]
+	}
+	return days
+}

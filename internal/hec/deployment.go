@@ -1,0 +1,139 @@
+package hec
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/features"
+)
+
+// Sample is one detection task: a window of frames plus its ground truth.
+type Sample struct {
+	// Frames is the T×D window (univariate data uses D = 1).
+	Frames [][]float64
+	// Label is true for anomalous windows.
+	Label bool
+}
+
+// Deployment binds one trained detector to each HEC layer over a topology —
+// the system state after the paper's model-construction phase.
+type Deployment struct {
+	Topology  Topology
+	Detectors [NumLayers]anomaly.Detector
+	// Recurrent selects the LSTM throughput curve for execution times
+	// (true for the multivariate seq2seq suite).
+	Recurrent bool
+	// PayloadKB is the uplink payload size per offloaded window.
+	PayloadKB float64
+	// PolicyOverheadMs is the cost of running context extraction plus the
+	// policy network on the IoT device, charged to the Adaptive scheme.
+	PolicyOverheadMs float64
+}
+
+// NewDeployment validates and builds a deployment.
+func NewDeployment(top Topology, detectors [NumLayers]anomaly.Detector, recurrent bool) (*Deployment, error) {
+	for l, d := range detectors {
+		if d == nil {
+			return nil, fmt.Errorf("hec: no detector for layer %v", Layer(l))
+		}
+	}
+	return &Deployment{Topology: top, Detectors: detectors, Recurrent: recurrent}, nil
+}
+
+// ExecMs returns the execution time of the detector at layer for a T-frame
+// window.
+func (d *Deployment) ExecMs(layer Layer, T int) (float64, error) {
+	return d.Topology.ExecTimeMs(layer, d.Detectors[layer], T, d.Recurrent)
+}
+
+// RTTMs returns the network round trip from the IoT device to layer.
+func (d *Deployment) RTTMs(layer Layer) (float64, error) {
+	return d.Topology.RTTMs(layer, d.PayloadKB)
+}
+
+// Detect runs detection at one layer and returns the verdict plus the
+// end-to-end delay (network round trip + execution).
+func (d *Deployment) Detect(layer Layer, frames [][]float64) (anomaly.Verdict, float64, error) {
+	if layer < 0 || layer >= NumLayers {
+		return anomaly.Verdict{}, 0, fmt.Errorf("hec: layer %d out of range", int(layer))
+	}
+	v, err := d.Detectors[layer].Detect(frames)
+	if err != nil {
+		return anomaly.Verdict{}, 0, fmt.Errorf("hec: detect at %v: %w", layer, err)
+	}
+	exec, err := d.ExecMs(layer, len(frames))
+	if err != nil {
+		return anomaly.Verdict{}, 0, err
+	}
+	rtt, err := d.RTTMs(layer)
+	if err != nil {
+		return anomaly.Verdict{}, 0, err
+	}
+	return v, rtt + exec, nil
+}
+
+// Outcome is a precomputed per-layer detection result for one sample.
+type Outcome struct {
+	Verdict anomaly.Verdict
+	// ExecMs is the execution time at the layer (no network).
+	ExecMs float64
+	// E2EMs is the end-to-end delay when the sample is sent directly to
+	// the layer: RTT + ExecMs.
+	E2EMs float64
+}
+
+// Precomputed caches every (sample, layer) detection outcome plus each
+// sample's policy context. Detection is deterministic, so schemes and
+// policy training replay these outcomes instead of re-running models —
+// the same trick the paper's authors use when training the policy network
+// offline from logged detections.
+type Precomputed struct {
+	Samples  []Sample
+	Outcomes [][NumLayers]Outcome
+	Contexts [][]float64
+	// RTTs caches the per-layer network round trips.
+	RTTs [NumLayers]float64
+	// PolicyOverheadMs mirrors Deployment.PolicyOverheadMs.
+	PolicyOverheadMs float64
+}
+
+// Precompute runs every detector on every sample and extracts contexts.
+// ext may be nil when no adaptive scheme will be used.
+func Precompute(dep *Deployment, ext features.Extractor, samples []Sample) (*Precomputed, error) {
+	pc := &Precomputed{
+		Samples:          samples,
+		Outcomes:         make([][NumLayers]Outcome, len(samples)),
+		PolicyOverheadMs: dep.PolicyOverheadMs,
+	}
+	for l := Layer(0); l < NumLayers; l++ {
+		rtt, err := dep.RTTMs(l)
+		if err != nil {
+			return nil, err
+		}
+		pc.RTTs[l] = rtt
+	}
+	if ext != nil {
+		pc.Contexts = make([][]float64, len(samples))
+	}
+	for i, s := range samples {
+		for l := Layer(0); l < NumLayers; l++ {
+			v, err := dep.Detectors[l].Detect(s.Frames)
+			if err != nil {
+				return nil, fmt.Errorf("hec: precompute sample %d layer %v: %w", i, l, err)
+			}
+			exec, err := dep.ExecMs(l, len(s.Frames))
+			if err != nil {
+				return nil, err
+			}
+			pc.Outcomes[i][l] = Outcome{Verdict: v, ExecMs: exec, E2EMs: pc.RTTs[l] + exec}
+		}
+		if ext != nil {
+			z, err := ext.Context(s.Frames)
+			if err != nil {
+				return nil, fmt.Errorf("hec: precompute context %d: %w", i, err)
+			}
+			pc.Contexts[i] = z
+		}
+	}
+	return pc, nil
+}

@@ -1,0 +1,112 @@
+package hec
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/policy"
+)
+
+// Decision is one scheme's output for one sample.
+type Decision struct {
+	Verdict anomaly.Verdict
+	// DelayMs is the end-to-end detection delay.
+	DelayMs float64
+	// Final is the layer whose verdict was used.
+	Final Layer
+}
+
+// Scheme decides, per sample, where to run detection. Implementations
+// replay precomputed outcomes, so deciding is cheap.
+type Scheme interface {
+	// Name is the scheme label used in Table II.
+	Name() string
+	// Decide resolves sample i of the precomputed set.
+	Decide(pc *Precomputed, i int) (Decision, error)
+}
+
+// Fixed always uses one layer — the paper's "IoT Device", "Edge" and
+// "Cloud" baseline schemes.
+type Fixed struct {
+	Layer Layer
+}
+
+// Name implements Scheme.
+func (f Fixed) Name() string {
+	switch f.Layer {
+	case LayerIoT:
+		return "IoT Device"
+	default:
+		return f.Layer.String()
+	}
+}
+
+// Decide implements Scheme.
+func (f Fixed) Decide(pc *Precomputed, i int) (Decision, error) {
+	if f.Layer < 0 || f.Layer >= NumLayers {
+		return Decision{}, fmt.Errorf("hec: fixed scheme layer %d out of range", int(f.Layer))
+	}
+	o := pc.Outcomes[i][f.Layer]
+	return Decision{Verdict: o.Verdict, DelayMs: o.E2EMs, Final: f.Layer}, nil
+}
+
+// Successive is the escalation baseline: run at the IoT device first, then
+// offload to successively higher layers until a confident verdict or the
+// cloud. Its delay accumulates the execution time of every layer tried
+// plus the network round trip to the stopping layer.
+type Successive struct{}
+
+// Name implements Scheme.
+func (Successive) Name() string { return "Successive" }
+
+// Decide implements Scheme.
+func (Successive) Decide(pc *Precomputed, i int) (Decision, error) {
+	var execSum float64
+	for l := Layer(0); l < NumLayers; l++ {
+		o := pc.Outcomes[i][l]
+		execSum += o.ExecMs
+		if o.Verdict.Confident || l == NumLayers-1 {
+			return Decision{
+				Verdict: o.Verdict,
+				DelayMs: execSum + pc.RTTs[l],
+				Final:   l,
+			}, nil
+		}
+	}
+	// Unreachable: the loop always returns at the top layer.
+	return Decision{}, fmt.Errorf("hec: successive scheme fell through")
+}
+
+// Adaptive is the paper's proposed scheme: a trained policy network maps
+// each sample's context to the layer that should detect it. The policy's
+// own (small) execution cost on the IoT device is charged to the delay.
+type Adaptive struct {
+	Policy *policy.Network
+}
+
+// Name implements Scheme.
+func (Adaptive) Name() string { return "Our Method" }
+
+// Decide implements Scheme.
+func (a Adaptive) Decide(pc *Precomputed, i int) (Decision, error) {
+	if a.Policy == nil {
+		return Decision{}, fmt.Errorf("hec: adaptive scheme has no policy network")
+	}
+	if pc.Contexts == nil {
+		return Decision{}, fmt.Errorf("hec: precomputed set has no contexts (pass an extractor to Precompute)")
+	}
+	action, err := a.Policy.Greedy(pc.Contexts[i])
+	if err != nil {
+		return Decision{}, err
+	}
+	if action >= NumLayers {
+		return Decision{}, fmt.Errorf("hec: policy chose action %d beyond %d layers", action, NumLayers)
+	}
+	l := Layer(action)
+	o := pc.Outcomes[i][l]
+	return Decision{
+		Verdict: o.Verdict,
+		DelayMs: pc.PolicyOverheadMs + o.E2EMs,
+		Final:   l,
+	}, nil
+}

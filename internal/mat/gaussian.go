@@ -1,0 +1,124 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Gaussian is a multivariate normal distribution N(µ, Σ) fitted to a sample
+// of vectors. It is the statistical core of the paper's anomaly score: the
+// log probability density (logPD) of a reconstruction error under the
+// Gaussian of *normal* reconstruction errors.
+type Gaussian struct {
+	// Mean is µ, the per-dimension sample mean.
+	Mean []float64
+
+	dim    int
+	chol   *Cholesky
+	logDet float64
+	// logNorm caches −(d/2)·log(2π) − ½·log det Σ.
+	logNorm float64
+}
+
+// ErrNoSamples is returned when fitting a Gaussian to an empty sample set.
+var ErrNoSamples = errors.New("mat: no samples to fit Gaussian")
+
+// FitGaussian estimates N(µ, Σ) from the rows of samples. reg is a ridge
+// term added to the diagonal of Σ so the factorisation stays positive
+// definite when dimensions are (near-)degenerate; pass a small value such as
+// 1e-6 for standardised data.
+func FitGaussian(samples [][]float64, reg float64) (*Gaussian, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	d := len(samples[0])
+	if d == 0 {
+		return nil, fmt.Errorf("%w: zero-dimensional samples", ErrShape)
+	}
+	mean := make([]float64, d)
+	for i, s := range samples {
+		if len(s) != d {
+			return nil, fmt.Errorf("%w: sample %d has dim %d, want %d", ErrShape, i, len(s), d)
+		}
+		for j, v := range s {
+			mean[j] += v
+		}
+	}
+	n := float64(len(samples))
+	for j := range mean {
+		mean[j] /= n
+	}
+
+	cov := New(d, d)
+	diff := make([]float64, d)
+	for _, s := range samples {
+		for j, v := range s {
+			diff[j] = v - mean[j]
+		}
+		if err := cov.OuterAdd(diff, diff); err != nil {
+			return nil, err
+		}
+	}
+	// Population covariance; for n == 1 this leaves Σ = reg·I which is the
+	// only defensible choice without more data.
+	cov.Scale(1 / n)
+	for j := 0; j < d; j++ {
+		cov.Set(j, j, cov.At(j, j)+reg)
+	}
+	return NewGaussian(mean, cov)
+}
+
+// NewGaussian builds a Gaussian from an explicit mean and covariance. The
+// covariance must be symmetric positive definite.
+func NewGaussian(mean []float64, cov *Matrix) (*Gaussian, error) {
+	d := len(mean)
+	if cov.Rows != d || cov.Cols != d {
+		return nil, fmt.Errorf("%w: mean dim %d vs covariance %dx%d", ErrShape, d, cov.Rows, cov.Cols)
+	}
+	chol, err := NewCholesky(cov)
+	if err != nil {
+		return nil, fmt.Errorf("fitting Gaussian: %w", err)
+	}
+	g := &Gaussian{
+		Mean:   CloneVec(mean),
+		dim:    d,
+		chol:   chol,
+		logDet: chol.LogDet(),
+	}
+	g.logNorm = -0.5*float64(d)*math.Log(2*math.Pi) - 0.5*g.logDet
+	return g, nil
+}
+
+// Dim returns the dimensionality of the distribution.
+func (g *Gaussian) Dim() int { return g.dim }
+
+// LogPDF returns log N(x; µ, Σ) — the paper's logPD anomaly score (more
+// negative means more anomalous).
+func (g *Gaussian) LogPDF(x []float64) (float64, error) {
+	if len(x) != g.dim {
+		return 0, fmt.Errorf("%w: LogPDF input dim %d, want %d", ErrShape, len(x), g.dim)
+	}
+	diff := make([]float64, g.dim)
+	for i, v := range x {
+		diff[i] = v - g.Mean[i]
+	}
+	sol, err := g.chol.Solve(diff)
+	if err != nil {
+		return 0, err
+	}
+	maha, err := Dot(diff, sol)
+	if err != nil {
+		return 0, err
+	}
+	return g.logNorm - 0.5*maha, nil
+}
+
+// Mahalanobis returns the squared Mahalanobis distance (x−µ)ᵀ Σ⁻¹ (x−µ).
+func (g *Gaussian) Mahalanobis(x []float64) (float64, error) {
+	lp, err := g.LogPDF(x)
+	if err != nil {
+		return 0, err
+	}
+	return -2 * (lp - g.logNorm), nil
+}

@@ -1,0 +1,208 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("Dot shape error = %v, want ErrShape", err)
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+
+	sum, err := AddVec(a, b)
+	if err != nil || sum[0] != 4 || sum[1] != 7 {
+		t.Fatalf("AddVec = %v err=%v", sum, err)
+	}
+	diff, err := SubVec(b, a)
+	if err != nil || diff[0] != 2 || diff[1] != 3 {
+		t.Fatalf("SubVec = %v err=%v", diff, err)
+	}
+	had, err := HadamardVec(a, b)
+	if err != nil || had[0] != 3 || had[1] != 10 {
+		t.Fatalf("HadamardVec = %v err=%v", had, err)
+	}
+	y := CloneVec(a)
+	if err := AxpyVec(2, b, y); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 || y[1] != 12 {
+		t.Fatalf("AxpyVec = %v, want [7 12]", y)
+	}
+	// Mismatched lengths must error, not panic.
+	if _, err := AddVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("AddVec must reject mismatched lengths")
+	}
+	if _, err := SubVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("SubVec must reject mismatched lengths")
+	}
+	if _, err := HadamardVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("HadamardVec must reject mismatched lengths")
+	}
+	if err := AxpyVec(1, a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatal("AxpyVec must reject mismatched lengths")
+	}
+}
+
+func TestScaleVecInPlace(t *testing.T) {
+	x := []float64{1, -2}
+	got := ScaleVec(3, x)
+	if &got[0] != &x[0] {
+		t.Fatal("ScaleVec must operate in place")
+	}
+	if x[0] != 3 || x[1] != -6 {
+		t.Fatalf("ScaleVec = %v, want [3 -6]", x)
+	}
+}
+
+func TestCloneVecNilSafe(t *testing.T) {
+	got := CloneVec(nil)
+	if got == nil || len(got) != 0 {
+		t.Fatalf("CloneVec(nil) = %v, want empty non-nil", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := MeanVec(x); got != 5 {
+		t.Fatalf("MeanVec = %g, want 5", got)
+	}
+	if got := StdVec(x); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdVec = %g, want 2", got)
+	}
+	min, max := MinMaxVec(x)
+	if min != 2 || max != 9 {
+		t.Fatalf("MinMaxVec = (%g,%g), want (2,9)", min, max)
+	}
+	if got := SumVec(x); got != 40 {
+		t.Fatalf("SumVec = %g, want 40", got)
+	}
+	if MeanVec(nil) != 0 || StdVec([]float64{1}) != 0 {
+		t.Fatal("empty-input stats must be 0")
+	}
+}
+
+func TestNorm2ArgMax(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	if got := ArgMax([]float64{1, 3, 3, 2}); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (ties break low)", got)
+	}
+}
+
+func TestSoftmaxBasics(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	if len(p) != 3 {
+		t.Fatalf("len = %d", len(p))
+	}
+	if math.Abs(SumVec(p)-1) > 1e-12 {
+		t.Fatalf("softmax sums to %g, want 1", SumVec(p))
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("softmax not monotone: %v", p)
+	}
+	// Stability with large logits.
+	p = Softmax([]float64{1000, 1000, 1000})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-9 {
+			t.Fatalf("large-logit softmax = %v, want uniform", p)
+		}
+	}
+	if Softmax(nil) != nil {
+		t.Fatal("Softmax(nil) should be nil")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite([]float64{1, -2, 0}) {
+		t.Fatal("finite slice reported non-finite")
+	}
+	if IsFinite([]float64{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if IsFinite([]float64{math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+}
+
+// Property: softmax output is a probability distribution invariant to adding
+// a constant to all logits.
+func TestQuickSoftmaxInvariance(t *testing.T) {
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		shift = math.Mod(shift, 100)
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+			y[i] = x[i] + shift
+		}
+		px, py := Softmax(x), Softmax(y)
+		if math.Abs(SumVec(px)-1) > 1e-9 {
+			return false
+		}
+		for i := range px {
+			if px[i] < 0 || px[i] > 1 {
+				return false
+			}
+			if math.Abs(px[i]-py[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot is symmetric and bilinear in its first argument.
+func TestQuickDotBilinear(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a, b, c := make([]float64, n), make([]float64, n), make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i], c[i] = rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		}
+		ab, _ := Dot(a, b)
+		ba, _ := Dot(b, a)
+		if math.Abs(ab-ba) > 1e-9 {
+			return false
+		}
+		s := rng.NormFloat64()
+		sa := CloneVec(a)
+		ScaleVec(s, sa)
+		sab, _ := Dot(sa, b)
+		if math.Abs(sab-s*ab) > 1e-6*(1+math.Abs(s*ab)) {
+			return false
+		}
+		apc, _ := AddVec(a, c)
+		lhs, _ := Dot(apc, b)
+		cb, _ := Dot(c, b)
+		return math.Abs(lhs-(ab+cb)) <= 1e-6*(1+math.Abs(ab+cb))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

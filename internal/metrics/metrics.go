@@ -1,0 +1,193 @@
+// Package metrics provides the evaluation measures reported in the paper's
+// tables and demo panel: accuracy, F1-score, detection-delay statistics,
+// the summed reward of Table II, and cumulative trackers for the streaming
+// result panel (Fig. 3b).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Confusion is a binary confusion matrix for anomaly detection (positive =
+// anomaly). The zero value is ready to use.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction against ground truth.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of recorded samples.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy returns (TP+TN)/total, or 0 with no samples.
+func (c *Confusion) Accuracy() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(t)
+}
+
+// Precision returns TP/(TP+FP), or 0 when nothing was predicted positive.
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 0 when there are no positives.
+func (c *Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when
+// undefined.
+func (c *Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix compactly.
+func (c *Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d acc=%.4f f1=%.4f",
+		c.TP, c.FP, c.TN, c.FN, c.Accuracy(), c.F1())
+}
+
+// DelayStats accumulates detection-delay observations (milliseconds).
+// The zero value is ready to use.
+type DelayStats struct {
+	values []float64
+	sum    float64
+}
+
+// Add records one delay.
+func (d *DelayStats) Add(ms float64) {
+	d.values = append(d.values, ms)
+	d.sum += ms
+}
+
+// Count returns the number of observations.
+func (d *DelayStats) Count() int { return len(d.values) }
+
+// Mean returns the average delay, or 0 with no observations.
+func (d *DelayStats) Mean() float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.values))
+}
+
+// Min returns the smallest delay, or 0 with no observations.
+func (d *DelayStats) Min() float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	m := d.values[0]
+	for _, v := range d.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest delay, or 0 with no observations.
+func (d *DelayStats) Max() float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	m := d.values[0]
+	for _, v := range d.values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank interpolation, or 0 with no observations.
+func (d *DelayStats) Percentile(p float64) float64 {
+	if len(d.values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), d.values...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Cumulative tracks the streaming accuracy/F1 series displayed on the demo
+// result panel: after every sample it snapshots the running metrics.
+type Cumulative struct {
+	conf      Confusion
+	AccSeries []float64
+	F1Series  []float64
+}
+
+// Add records one prediction and appends the running metrics to the series.
+func (c *Cumulative) Add(predicted, actual bool) {
+	c.conf.Add(predicted, actual)
+	c.AccSeries = append(c.AccSeries, c.conf.Accuracy())
+	c.F1Series = append(c.F1Series, c.conf.F1())
+}
+
+// Final returns the confusion matrix after all samples.
+func (c *Cumulative) Final() Confusion { return c.conf }
+
+// RewardSum accumulates the per-sample rewards whose total is the paper's
+// Table II "Reward" column (see DESIGN.md §3).
+type RewardSum struct {
+	sum float64
+	n   int
+}
+
+// Add records one per-sample reward.
+func (r *RewardSum) Add(reward float64) {
+	r.sum += reward
+	r.n++
+}
+
+// Sum returns the summed reward (the Table II form).
+func (r *RewardSum) Sum() float64 { return r.sum }
+
+// Mean returns the per-sample mean reward, or 0 with no samples.
+func (r *RewardSum) Mean() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.sum / float64(r.n)
+}

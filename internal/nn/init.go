@@ -1,0 +1,34 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// GlorotUniform fills w with samples from U(−limit, limit) where
+// limit = sqrt(6 / (fanIn + fanOut)), the Keras default for dense kernels.
+// For a Dense weight matrix of shape out×in, fanIn = in and fanOut = out.
+func GlorotUniform(w *mat.Matrix, rng *rand.Rand) {
+	fanOut, fanIn := w.Rows, w.Cols
+	limit := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// OrthogonalFallback fills w with a scaled Glorot-style initialisation
+// appropriate for recurrent kernels. A true orthogonal init needs a QR
+// factorisation; the scaled uniform keeps recurrent dynamics stable at the
+// hidden sizes used here while staying dependency-free.
+func OrthogonalFallback(w *mat.Matrix, rng *rand.Rand) {
+	n := w.Rows
+	if w.Cols > n {
+		n = w.Cols
+	}
+	limit := math.Sqrt(3 / float64(n))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}

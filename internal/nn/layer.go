@@ -1,0 +1,293 @@
+// Package nn is a from-scratch feed-forward neural-network library built on
+// internal/mat. It provides the dense layers, activations, dropout,
+// optimisers, loss functions, serialisation and FP16 quantisation needed to
+// reproduce the paper's autoencoder anomaly-detection models and the policy
+// network, replacing the TensorFlow/Keras stack the authors used.
+//
+// The library trains one sample at a time (stochastic updates with optional
+// mini-batch accumulation by the caller); at the model sizes in this
+// repository that is both simple and fast enough.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// Param is one trainable tensor of a layer, paired with its gradient
+// accumulator. WeightDecay marks parameters that participate in L2 ("kernel")
+// regularisation — weights yes, biases no, matching Keras's kernel_regularizer.
+type Param struct {
+	Name        string
+	Value       *mat.Matrix
+	Grad        *mat.Matrix
+	WeightDecay bool
+}
+
+// Layer is one differentiable stage of a network operating on vectors.
+//
+// Forward consumes an input vector and returns the output; when train is
+// true the layer may cache values needed by Backward and apply stochastic
+// behaviour such as dropout. Backward consumes ∂L/∂output, accumulates
+// parameter gradients, and returns ∂L/∂input. A Backward call must be
+// preceded by a Forward call with train=true on the same layer.
+type Layer interface {
+	Forward(x []float64, train bool) ([]float64, error)
+	Backward(gradOut []float64) ([]float64, error)
+	Params() []Param
+	// OutSize reports the layer's output width for an input of width in,
+	// or an error if the layer cannot accept that width.
+	OutSize(in int) (int, error)
+}
+
+// Dense is a fully connected layer: y = W·x + b with W ∈ ℝ^{out×in}.
+type Dense struct {
+	W *mat.Matrix
+	B []float64
+
+	gradW *mat.Matrix
+	gradB []float64
+	lastX []float64
+}
+
+// NewDense creates a Dense layer with Glorot-uniform initialised weights and
+// zero biases, drawing randomness from rng.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Dense shape %d->%d", in, out))
+	}
+	d := &Dense{
+		W:     mat.New(out, in),
+		B:     make([]float64, out),
+		gradW: mat.New(out, in),
+		gradB: make([]float64, out),
+	}
+	GlorotUniform(d.W, rng)
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x []float64, train bool) ([]float64, error) {
+	y, err := d.W.MulVec(x)
+	if err != nil {
+		return nil, fmt.Errorf("dense forward: %w", err)
+	}
+	for i := range y {
+		y[i] += d.B[i]
+	}
+	if train {
+		d.lastX = mat.CloneVec(x)
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut []float64) ([]float64, error) {
+	if d.lastX == nil {
+		return nil, fmt.Errorf("nn: Dense.Backward before Forward(train=true)")
+	}
+	if len(gradOut) != d.W.Rows {
+		return nil, fmt.Errorf("%w: dense backward grad len %d, want %d", mat.ErrShape, len(gradOut), d.W.Rows)
+	}
+	if err := d.gradW.OuterAdd(gradOut, d.lastX); err != nil {
+		return nil, err
+	}
+	for i, g := range gradOut {
+		d.gradB[i] += g
+	}
+	gradIn, err := d.W.MulVecT(gradOut)
+	if err != nil {
+		return nil, err
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Name: "W", Value: d.W, Grad: d.gradW, WeightDecay: true},
+		{Name: "b", Value: wrapVec(d.B), Grad: wrapVec(d.gradB)},
+	}
+}
+
+// OutSize implements Layer.
+func (d *Dense) OutSize(in int) (int, error) {
+	if in != d.W.Cols {
+		return 0, fmt.Errorf("%w: Dense expects input %d, got %d", mat.ErrShape, d.W.Cols, in)
+	}
+	return d.W.Rows, nil
+}
+
+// wrapVec views a slice as a 1×n matrix sharing storage, so optimisers can
+// treat weights and biases uniformly.
+func wrapVec(v []float64) *mat.Matrix {
+	return &mat.Matrix{Rows: 1, Cols: len(v), Data: v}
+}
+
+// Activation applies an element-wise nonlinearity.
+type Activation struct {
+	Fn ActFunc
+
+	lastOut []float64
+	lastIn  []float64
+}
+
+// ActFunc identifies an element-wise activation function.
+type ActFunc int
+
+// Supported activation functions.
+const (
+	ActLinear ActFunc = iota + 1
+	ActReLU
+	ActSigmoid
+	ActTanh
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (f ActFunc) String() string {
+	switch f {
+	case ActLinear:
+		return "linear"
+	case ActReLU:
+		return "relu"
+	case ActSigmoid:
+		return "sigmoid"
+	case ActTanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("ActFunc(%d)", int(f))
+	}
+}
+
+// Apply evaluates the activation at v.
+func (f ActFunc) Apply(v float64) float64 {
+	switch f {
+	case ActReLU:
+		if v < 0 {
+			return 0
+		}
+		return v
+	case ActSigmoid:
+		return 1 / (1 + math.Exp(-v))
+	case ActTanh:
+		return math.Tanh(v)
+	default:
+		return v
+	}
+}
+
+// Deriv evaluates the derivative of the activation given the pre-activation
+// input in and the already-computed output out (whichever is cheaper).
+func (f ActFunc) Deriv(in, out float64) float64 {
+	switch f {
+	case ActReLU:
+		if in > 0 {
+			return 1
+		}
+		return 0
+	case ActSigmoid:
+		return out * (1 - out)
+	case ActTanh:
+		return 1 - out*out
+	default:
+		return 1
+	}
+}
+
+// NewActivation returns an activation layer for fn.
+func NewActivation(fn ActFunc) *Activation { return &Activation{Fn: fn} }
+
+// Forward implements Layer.
+func (a *Activation) Forward(x []float64, train bool) ([]float64, error) {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = a.Fn.Apply(v)
+	}
+	if train {
+		a.lastIn = mat.CloneVec(x)
+		a.lastOut = mat.CloneVec(out)
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (a *Activation) Backward(gradOut []float64) ([]float64, error) {
+	if a.lastIn == nil {
+		return nil, fmt.Errorf("nn: Activation.Backward before Forward(train=true)")
+	}
+	if len(gradOut) != len(a.lastIn) {
+		return nil, fmt.Errorf("%w: activation backward grad len %d, want %d", mat.ErrShape, len(gradOut), len(a.lastIn))
+	}
+	gradIn := make([]float64, len(gradOut))
+	for i, g := range gradOut {
+		gradIn[i] = g * a.Fn.Deriv(a.lastIn[i], a.lastOut[i])
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer. Activations are parameter-free.
+func (a *Activation) Params() []Param { return nil }
+
+// OutSize implements Layer.
+func (a *Activation) OutSize(in int) (int, error) { return in, nil }
+
+// Dropout zeroes each input element with probability Rate during training
+// and rescales the survivors by 1/(1−Rate) (inverted dropout), so inference
+// needs no adjustment. The paper applies a 0.3 drop-rate to the LSTM-decoder
+// output before its dense head.
+type Dropout struct {
+	Rate float64
+
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with the given rate in [0, 1), drawing
+// randomness from rng.
+func NewDropout(rate float64, rng *rand.Rand) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %g out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x []float64, train bool) ([]float64, error) {
+	if !train || d.Rate == 0 {
+		return mat.CloneVec(x), nil
+	}
+	keep := 1 - d.Rate
+	d.mask = make([]float64, len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if d.rng.Float64() < keep {
+			d.mask[i] = 1 / keep
+			out[i] = v / keep
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(gradOut []float64) ([]float64, error) {
+	if d.mask == nil {
+		return nil, fmt.Errorf("nn: Dropout.Backward before Forward(train=true)")
+	}
+	if len(gradOut) != len(d.mask) {
+		return nil, fmt.Errorf("%w: dropout backward grad len %d, want %d", mat.ErrShape, len(gradOut), len(d.mask))
+	}
+	gradIn := make([]float64, len(gradOut))
+	for i, g := range gradOut {
+		gradIn[i] = g * d.mask[i]
+	}
+	return gradIn, nil
+}
+
+// Params implements Layer. Dropout is parameter-free.
+func (d *Dropout) Params() []Param { return nil }
+
+// OutSize implements Layer.
+func (d *Dropout) OutSize(in int) (int, error) { return in, nil }

@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// Sequential chains layers into a feed-forward network.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential returns a network over the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the network on x. With train=true, intermediate state needed
+// for Backward is cached in the layers.
+func (n *Sequential) Forward(x []float64, train bool) ([]float64, error) {
+	cur := x
+	for i, l := range n.Layers {
+		var err error
+		cur, err = l.Forward(cur, train)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// Backward propagates ∂L/∂output back through the network, accumulating
+// parameter gradients, and returns ∂L/∂input.
+func (n *Sequential) Backward(gradOut []float64) ([]float64, error) {
+	cur := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		var err error
+		cur, err = n.Layers[i].Backward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// Params returns every trainable parameter in layer order.
+func (n *Sequential) Params() []Param {
+	var ps []Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// NumParams returns the total number of scalar trainable parameters
+// (weights and biases), the paper's "#Parameters" metric.
+func (n *Sequential) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.Value.Data)
+	}
+	return total
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Sequential) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// OutSize reports the output width for an input of width in, validating
+// layer-to-layer shape compatibility.
+func (n *Sequential) OutSize(in int) (int, error) {
+	cur := in
+	for i, l := range n.Layers {
+		var err error
+		cur, err = l.OutSize(cur)
+		if err != nil {
+			return 0, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// MSELoss returns the mean squared error ½·Σ(pred−target)²/n and its
+// gradient with respect to pred. The ½ factor keeps the gradient simply
+// (pred−target)/n.
+func MSELoss(pred, target []float64) (float64, []float64, error) {
+	if len(pred) != len(target) {
+		return 0, nil, fmt.Errorf("%w: MSE pred len %d, target len %d", mat.ErrShape, len(pred), len(target))
+	}
+	n := float64(len(pred))
+	grad := make([]float64, len(pred))
+	var loss float64
+	for i, p := range pred {
+		d := p - target[i]
+		loss += d * d
+		grad[i] = d / n
+	}
+	return loss / (2 * n), grad, nil
+}
+
+// FlopsDense estimates multiply-accumulate FLOPs of a forward pass through
+// the network's dense layers for one input vector; used by the HEC device
+// compute model to derive execution times.
+func (n *Sequential) FlopsDense() int64 {
+	var f int64
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dense); ok {
+			f += 2 * int64(d.W.Rows) * int64(d.W.Cols)
+		}
+	}
+	return f
+}

@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Optimizer updates parameters from their accumulated gradients and clears
+// the gradients. Implementations keep per-parameter state, so an Optimizer
+// must be used with one fixed parameter set (rebinding happens lazily on
+// first Step).
+type Optimizer interface {
+	// Step applies one update to params from their Grad fields and zeroes
+	// the gradients.
+	Step(params []Param) error
+}
+
+// clipGrad scales the whole gradient set down if its global L2 norm exceeds
+// maxNorm; a zero maxNorm disables clipping. Gradient clipping keeps BPTT
+// through long sequences stable.
+func clipGrad(params []Param, maxNorm float64) {
+	if maxNorm <= 0 {
+		return
+	}
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm {
+		return
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		p.Grad.Scale(scale)
+	}
+}
+
+// applyDecay adds the L2-regularisation term λ·w to gradients of parameters
+// marked WeightDecay (the Keras kernel_regularizer semantics the paper uses
+// with λ = 1e-4).
+func applyDecay(params []Param, lambda float64) {
+	if lambda == 0 {
+		return
+	}
+	for _, p := range params {
+		if !p.WeightDecay {
+			continue
+		}
+		for i, w := range p.Value.Data {
+			p.Grad.Data[i] += lambda * w
+		}
+	}
+}
+
+// flushTiny snaps magnitudes below 1e-150 to zero. Weight decay walks dead
+// weights (e.g. behind dead ReLU units) through ever-smaller values whose
+// squares are subnormal floats; subnormal arithmetic is orders of magnitude
+// slower on common CPUs, so optimiser state must never linger there.
+func flushTiny(v float64) float64 {
+	if v > -1e-150 && v < 1e-150 {
+		return 0
+	}
+	return v
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	ClipNorm    float64
+
+	vel []*mat.Matrix
+}
+
+// NewSGD returns an SGD optimiser with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []Param) error {
+	if o.LR <= 0 {
+		return fmt.Errorf("nn: SGD learning rate %g must be positive", o.LR)
+	}
+	applyDecay(params, o.WeightDecay)
+	clipGrad(params, o.ClipNorm)
+	if o.Momentum != 0 && o.vel == nil {
+		o.vel = make([]*mat.Matrix, len(params))
+		for i, p := range params {
+			o.vel[i] = mat.New(p.Grad.Rows, p.Grad.Cols)
+		}
+	}
+	if o.vel != nil && len(o.vel) != len(params) {
+		return fmt.Errorf("nn: SGD bound to %d params, got %d", len(o.vel), len(params))
+	}
+	for i, p := range params {
+		if o.Momentum != 0 {
+			v := o.vel[i]
+			for j, g := range p.Grad.Data {
+				v.Data[j] = o.Momentum*v.Data[j] - o.LR*g
+				p.Value.Data[j] += v.Data[j]
+			}
+		} else {
+			for j, g := range p.Grad.Data {
+				p.Value.Data[j] -= o.LR * g
+			}
+		}
+		p.Grad.Zero()
+	}
+	return nil
+}
+
+// RMSProp implements the RMSProp optimiser the paper trains its seq2seq
+// models with: cache = ρ·cache + (1−ρ)·g²; w −= lr·g/(√cache+ε).
+type RMSProp struct {
+	LR          float64
+	Rho         float64
+	Eps         float64
+	WeightDecay float64
+	ClipNorm    float64
+
+	cache []*mat.Matrix
+}
+
+// NewRMSProp returns an RMSProp optimiser with Keras-default ρ=0.9, ε=1e-7.
+func NewRMSProp(lr float64) *RMSProp {
+	return &RMSProp{LR: lr, Rho: 0.9, Eps: 1e-7}
+}
+
+// Step implements Optimizer.
+func (o *RMSProp) Step(params []Param) error {
+	if o.LR <= 0 {
+		return fmt.Errorf("nn: RMSProp learning rate %g must be positive", o.LR)
+	}
+	applyDecay(params, o.WeightDecay)
+	clipGrad(params, o.ClipNorm)
+	if o.cache == nil {
+		o.cache = make([]*mat.Matrix, len(params))
+		for i, p := range params {
+			o.cache[i] = mat.New(p.Grad.Rows, p.Grad.Cols)
+		}
+	}
+	if len(o.cache) != len(params) {
+		return fmt.Errorf("nn: RMSProp bound to %d params, got %d", len(o.cache), len(params))
+	}
+	for i, p := range params {
+		c := o.cache[i]
+		for j, g := range p.Grad.Data {
+			c.Data[j] = flushTiny(o.Rho*c.Data[j] + (1-o.Rho)*g*g)
+			p.Value.Data[j] = flushTiny(p.Value.Data[j] - o.LR*g/(math.Sqrt(c.Data[j])+o.Eps))
+		}
+		p.Grad.Zero()
+	}
+	return nil
+}
+
+// Adam implements the Adam optimiser (used for the policy network, where
+// its per-parameter step sizes speed up REINFORCE convergence).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+	ClipNorm    float64
+
+	m, v []*mat.Matrix
+	t    int
+}
+
+// NewAdam returns an Adam optimiser with the standard β₁=0.9, β₂=0.999,
+// ε=1e-8 defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []Param) error {
+	if o.LR <= 0 {
+		return fmt.Errorf("nn: Adam learning rate %g must be positive", o.LR)
+	}
+	applyDecay(params, o.WeightDecay)
+	clipGrad(params, o.ClipNorm)
+	if o.m == nil {
+		o.m = make([]*mat.Matrix, len(params))
+		o.v = make([]*mat.Matrix, len(params))
+		for i, p := range params {
+			o.m[i] = mat.New(p.Grad.Rows, p.Grad.Cols)
+			o.v[i] = mat.New(p.Grad.Rows, p.Grad.Cols)
+		}
+	}
+	if len(o.m) != len(params) {
+		return fmt.Errorf("nn: Adam bound to %d params, got %d", len(o.m), len(params))
+	}
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		m, v := o.m[i], o.v[i]
+		for j, g := range p.Grad.Data {
+			m.Data[j] = flushTiny(o.Beta1*m.Data[j] + (1-o.Beta1)*g)
+			v.Data[j] = flushTiny(o.Beta2*v.Data[j] + (1-o.Beta2)*g*g)
+			mhat := m.Data[j] / c1
+			vhat := v.Data[j] / c2
+			p.Value.Data[j] = flushTiny(p.Value.Data[j] - o.LR*mhat/(math.Sqrt(vhat)+o.Eps))
+		}
+		p.Grad.Zero()
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// trainToy fits net to a fixed nonlinear mapping and returns initial and
+// final loss, exercising the full forward/backward/step loop.
+func trainToy(t *testing.T, opt Optimizer, steps int) (first, last float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	net := NewSequential(
+		NewDense(2, 16, rng),
+		NewActivation(ActTanh),
+		NewDense(16, 1, rng),
+	)
+	inputs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	targets := [][]float64{{0}, {1}, {1}, {0}} // XOR
+	epochLoss := func() float64 {
+		var total float64
+		for i, x := range inputs {
+			out, err := net.Forward(x, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, _, err := MSELoss(out, targets[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += l
+		}
+		return total
+	}
+	first = epochLoss()
+	for s := 0; s < steps; s++ {
+		i := s % len(inputs)
+		out, err := net.Forward(inputs[i], true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, g, err := MSELoss(out, targets[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Backward(g); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Step(net.Params()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return first, epochLoss()
+}
+
+func TestSGDLearnsXOR(t *testing.T) {
+	first, last := trainToy(t, &SGD{LR: 0.3, Momentum: 0.9}, 4000)
+	if last >= first/10 {
+		t.Fatalf("SGD did not learn: loss %g -> %g", first, last)
+	}
+}
+
+func TestRMSPropLearnsXOR(t *testing.T) {
+	first, last := trainToy(t, NewRMSProp(0.01), 4000)
+	if last >= first/10 {
+		t.Fatalf("RMSProp did not learn: loss %g -> %g", first, last)
+	}
+}
+
+func TestAdamLearnsXOR(t *testing.T) {
+	first, last := trainToy(t, NewAdam(0.01), 4000)
+	if last >= first/10 {
+		t.Fatalf("Adam did not learn: loss %g -> %g", first, last)
+	}
+}
+
+func TestOptimizerRejectsBadLR(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(NewDense(1, 1, rng))
+	for _, opt := range []Optimizer{NewSGD(0), NewRMSProp(-1), NewAdam(0)} {
+		if err := opt.Step(net.Params()); err == nil {
+			t.Fatalf("%T accepted non-positive learning rate", opt)
+		}
+	}
+}
+
+func TestStepZeroesGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewSequential(NewDense(2, 2, rng))
+	out, err := net.Forward([]float64{1, 2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g, _ := MSELoss(out, []float64{0, 0})
+	if _, err := net.Backward(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewAdam(0.001).Step(net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Params() {
+		if p.Grad.MaxAbs() != 0 {
+			t.Fatal("Step must zero gradients")
+		}
+	}
+}
+
+func TestWeightDecayShrinksWeightsNotBiases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewSequential(NewDense(3, 3, rng))
+	d := net.Layers[0].(*Dense)
+	for i := range d.B {
+		d.B[i] = 1
+	}
+	w0 := d.W.Clone()
+	opt := &SGD{LR: 0.1, WeightDecay: 0.5}
+	// No data gradient: only decay acts.
+	if err := opt.Step(net.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range d.W.Data {
+		want := w0.Data[i] * (1 - 0.1*0.5)
+		if math.Abs(w-want) > 1e-12 {
+			t.Fatalf("weight %d = %g, want %g", i, w, want)
+		}
+	}
+	for _, b := range d.B {
+		if b != 1 {
+			t.Fatal("bias must not be decayed")
+		}
+	}
+}
+
+func TestClipNormBoundsUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewSequential(NewDense(2, 2, rng))
+	params := net.Params()
+	// Inject a huge gradient.
+	for _, p := range params {
+		p.Grad.Fill(1e6)
+	}
+	opt := &SGD{LR: 1, ClipNorm: 1}
+	w0 := params[0].Value.Clone()
+	if err := opt.Step(params); err != nil {
+		t.Fatal(err)
+	}
+	var moved float64
+	for i, w := range params[0].Value.Data {
+		moved += (w - w0.Data[i]) * (w - w0.Data[i])
+	}
+	if math.Sqrt(moved) > 1.0001 {
+		t.Fatalf("clipped update moved weights by %g, want ≤ 1", math.Sqrt(moved))
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := NewSequential(NewDense(3, 4, rng), NewActivation(ActReLU), NewDense(4, 2, rng))
+	snap := TakeSnapshot(net.Params())
+
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh identical architecture; outputs must match.
+	rng2 := rand.New(rand.NewSource(999))
+	net2 := NewSequential(NewDense(3, 4, rng2), NewActivation(ActReLU), NewDense(4, 2, rng2))
+	if err := loaded.Restore(net2.Params()); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.5, 2.3}
+	o1, err := net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := net2.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("restored net differs: %v vs %v", o1, o2)
+		}
+	}
+}
+
+func TestSnapshotRestoreShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	snap := TakeSnapshot(NewSequential(NewDense(3, 4, rng)).Params())
+	other := NewSequential(NewDense(3, 5, rng))
+	if err := snap.Restore(other.Params()); err == nil {
+		t.Fatal("Restore must reject shape mismatch")
+	}
+	small := NewSequential(NewActivation(ActReLU))
+	if err := snap.Restore(small.Params()); err == nil {
+		t.Fatal("Restore must reject count mismatch")
+	}
+}
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f    float64
+		bits uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-2, 0xC000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF},                 // max finite binary16
+		{math.Inf(1), 0x7C00},           // +inf
+		{math.Inf(-1), 0xFC00},          // -inf
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+	}
+	for _, c := range cases {
+		if got := Float16Bits(c.f); got != c.bits {
+			t.Errorf("Float16Bits(%g) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if back := Float16From(c.bits); back != c.f {
+			t.Errorf("Float16From(%#04x) = %g, want %g", c.bits, back, c.f)
+		}
+	}
+	if !math.IsNaN(Float16From(Float16Bits(math.NaN()))) {
+		t.Error("NaN must round-trip to NaN")
+	}
+	if Float16Bits(1e6) != 0x7C00 {
+		t.Error("overflow must produce +inf")
+	}
+	if Float16Bits(1e-12) != 0 {
+		t.Error("deep underflow must produce +0")
+	}
+}
+
+// Property: FP16 quantisation is idempotent and its relative error is below
+// 2^-11 for values in the normal range.
+func TestQuickFP16Quantisation(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		// Map arbitrary inputs into the binary16 normal range.
+		v = math.Mod(v, 60000)
+		if math.Abs(v) < 1e-4 {
+			v += 1 // avoid the subnormal range for the relative-error claim
+		}
+		q := QuantizeFP16(v)
+		if QuantizeFP16(q) != q {
+			return false // idempotence
+		}
+		return math.Abs(q-v) <= math.Abs(v)/2048+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeParamsFP16PreservesInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := NewSequential(NewDense(8, 16, rng), NewActivation(ActSigmoid), NewDense(16, 8, rng))
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	before, err := net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := QuantizeParamsFP16(net.Params())
+	if worst > 0.01 {
+		t.Fatalf("worst FP16 rounding error %g unexpectedly large", worst)
+	}
+	after, err := net.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if math.Abs(before[i]-after[i]) > 0.05 {
+			t.Fatalf("output %d moved %g after quantisation", i, math.Abs(before[i]-after[i]))
+		}
+	}
+}

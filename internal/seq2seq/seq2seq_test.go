@@ -1,0 +1,199 @@
+package seq2seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// tinyMHealth generates a reduced multivariate dataset for this package's
+// training tests.
+func tinyMHealth(t *testing.T) *dataset.MHealthDataset {
+	t.Helper()
+	ds, err := dataset.GenerateMHealth(dataset.MHealthConfig{
+		Subjects: 2, WalkSeconds: 25, OtherSeconds: 8, Noise: 0.08, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func trainWindows(ds *dataset.MHealthDataset, max int) [][][]float64 {
+	n := len(ds.Train)
+	if n > max {
+		n = max
+	}
+	out := make([][][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = ds.Train[i].Frames
+	}
+	return out
+}
+
+func TestNewBuildsPaperSuite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := DefaultSizing()
+	iot, err := New(TierIoT, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := New(TierEdge, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := New(TierCloud, s, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iot.Name() != "LSTM-seq2seq-IoT" || edge.Name() != "LSTM-seq2seq-Edge" || cloud.Name() != "BiLSTM-seq2seq-Cloud" {
+		t.Fatal("model names wrong")
+	}
+	// Paper: edge doubles the IoT LSTM units; cloud has a BiLSTM encoder.
+	if edge.Net.HiddenSize != 2*iot.Net.HiddenSize {
+		t.Fatalf("edge hidden %d, want 2×%d", edge.Net.HiddenSize, iot.Net.HiddenSize)
+	}
+	if cloud.Net.BiEncoder == nil {
+		t.Fatal("cloud must use a BiLSTM encoder")
+	}
+	if iot.Net.BiEncoder != nil || edge.Net.BiEncoder != nil {
+		t.Fatal("IoT/edge must be unidirectional")
+	}
+	if !(iot.NumParams() < edge.NumParams() && edge.NumParams() < cloud.NumParams()) {
+		t.Fatalf("params not increasing: %d %d %d", iot.NumParams(), edge.NumParams(), cloud.NumParams())
+	}
+	T := dataset.WindowSize
+	if !(iot.FlopsPerWindow(T) < edge.FlopsPerWindow(T) && edge.FlopsPerWindow(T) < cloud.FlopsPerWindow(T)) {
+		t.Fatal("flops not increasing")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := New(TierIoT, Sizing{}, rng); err == nil {
+		t.Fatal("zero sizing must be rejected")
+	}
+	if _, err := New(Tier(9), DefaultSizing(), rng); err == nil {
+		t.Fatal("unknown tier must be rejected")
+	}
+}
+
+func TestDetectBeforeFitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := New(TierIoT, DefaultSizing(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tinyMHealth(t)
+	if _, err := m.Detect(ds.Test[0].Frames); err == nil {
+		t.Fatal("Detect before Fit must error")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := New(TierIoT, DefaultSizing(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Fit(nil, DefaultTrainConfig(), rng); err == nil {
+		t.Fatal("empty training set must be rejected")
+	}
+}
+
+// TestFitAndDetect trains a reduced LSTM-seq2seq-IoT model end to end and
+// checks that easy anomalies (static postures vs walking) are caught while
+// normal walking windows mostly pass.
+func TestFitAndDetect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LSTM training is slow; skipped with -short")
+	}
+	ds := tinyMHealth(t)
+	rng := rand.New(rand.NewSource(5))
+	m, err := New(TierIoT, Sizing{InSize: dataset.Channels, BaseHidden: 8, DropRate: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 4
+	loss, err := m.Fit(trainWindows(ds, 40), cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Fatalf("final loss = %g", loss)
+	}
+
+	var missedEasy, falsePos, normals, easies int
+	for _, s := range ds.Test {
+		isEasy := s.Label && s.Activity.Hardness() == dataset.HardnessEasy
+		if !isEasy && s.Label {
+			continue
+		}
+		v, err := m.Detect(s.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isEasy {
+			easies++
+			if !v.Anomaly {
+				missedEasy++
+			}
+		} else {
+			normals++
+			if v.Anomaly {
+				falsePos++
+			}
+		}
+	}
+	if easies == 0 || normals == 0 {
+		t.Skip("test split lacks both classes")
+	}
+	if missedEasy > easies/3 {
+		t.Fatalf("missed %d of %d easy anomalies", missedEasy, easies)
+	}
+	if falsePos > normals/2 {
+		t.Fatalf("%d false positives on %d normals", falsePos, normals)
+	}
+
+	// Encoder state doubles as the policy context.
+	z, err := m.EncodedState(ds.Test[0].Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != m.StateDim() {
+		t.Fatalf("state width %d, want %d", len(z), m.StateDim())
+	}
+
+	// FP16 quantisation must not change detection behaviour materially
+	// (the paper's compression observation).
+	before := make([]bool, 0, 20)
+	subset := ds.Test
+	if len(subset) > 20 {
+		subset = subset[:20]
+	}
+	for _, s := range subset {
+		v, err := m.Detect(s.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before = append(before, v.Anomaly)
+	}
+	if worst := m.Quantize(); worst > 0.01 {
+		t.Fatalf("quantisation error %g unexpectedly large", worst)
+	}
+	changed := 0
+	for i, s := range subset {
+		v, err := m.Detect(s.Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Anomaly != before[i] {
+			changed++
+		}
+	}
+	if changed > 2 {
+		t.Fatalf("FP16 quantisation flipped %d of %d verdicts", changed, len(subset))
+	}
+}

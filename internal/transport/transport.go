@@ -1,0 +1,255 @@
+// Package transport implements the testbed's communication layer: length-
+// prefixed gob messages over keep-alive TCP connections (the paper keeps
+// sockets open "to reduce the overhead of connection establishment"), a
+// detection-service server for hosting a layer's model, and client-side
+// one-way-delay injection emulating the paper's tc-configured WAN links.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/anomaly"
+)
+
+// maxMessageBytes bounds a single message; a 128×18 float64 window is
+// ~18 KB, so 16 MB leaves ample room while preventing hostile allocations.
+const maxMessageBytes = 16 << 20
+
+// DetectRequest asks a layer to judge one window.
+type DetectRequest struct {
+	Frames [][]float64
+}
+
+// DetectResponse carries the verdict plus the server's simulated execution
+// time; Err is non-empty when detection failed server-side.
+type DetectResponse struct {
+	Verdict anomaly.Verdict
+	ExecMs  float64
+	Err     string
+}
+
+// writeMsg encodes v with gob behind a 4-byte big-endian length prefix.
+func writeMsg(w io.Writer, v any) error {
+	var payload payloadBuffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("transport: encoding message: %w", err)
+	}
+	if len(payload.buf) > maxMessageBytes {
+		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(payload.buf))
+	}
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload.buf)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return fmt.Errorf("transport: writing length prefix: %w", err)
+	}
+	if _, err := w.Write(payload.buf); err != nil {
+		return fmt.Errorf("transport: writing payload: %w", err)
+	}
+	return nil
+}
+
+// payloadBuffer is a minimal growable write buffer (bytes.Buffer without
+// the unused API surface).
+type payloadBuffer struct{ buf []byte }
+
+func (b *payloadBuffer) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+// readMsg decodes one length-prefixed gob message into v.
+func readMsg(r io.Reader, v any) error {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return err // io.EOF passes through for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > maxMessageBytes {
+		return fmt.Errorf("transport: incoming message of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("transport: reading payload: %w", err)
+	}
+	if err := gob.NewDecoder(byteReader{payload, 0}.reader()).Decode(v); err != nil {
+		return fmt.Errorf("transport: decoding message: %w", err)
+	}
+	return nil
+}
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func (br byteReader) reader() io.Reader { r := br; return &r }
+
+func (br *byteReader) Read(p []byte) (int, error) {
+	if br.i >= len(br.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, br.b[br.i:])
+	br.i += n
+	return n, nil
+}
+
+// Server hosts one layer's detector over TCP. Each accepted connection is
+// served by a dedicated goroutine that loops over requests until the peer
+// closes (keep-alive semantics).
+type Server struct {
+	detector anomaly.Detector
+	execMs   func(frames int) float64
+
+	lis    net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts a detection server on addr (e.g. "127.0.0.1:0"). execMs, if
+// non-nil, supplies the simulated execution time reported per request
+// (window length → ms); nil reports wall-clock time.
+func Serve(addr string, det anomaly.Detector, execMs func(frames int) float64) (*Server, error) {
+	if det == nil {
+		return nil, errors.New("transport: Serve requires a detector")
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{detector: det, execMs: execMs, lis: lis}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if tcp, ok := conn.(*net.TCPConn); ok {
+			// Keep-alive sockets, as in the paper's testbed.
+			_ = tcp.SetKeepAlive(true)
+			_ = tcp.SetKeepAlivePeriod(30 * time.Second)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req DetectRequest
+		if err := readMsg(conn, &req); err != nil {
+			return // peer closed or protocol error; drop the connection
+		}
+		resp := s.handle(&req)
+		if err := writeMsg(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *DetectRequest) *DetectResponse {
+	start := time.Now()
+	v, err := s.detector.Detect(req.Frames)
+	if err != nil {
+		return &DetectResponse{Err: err.Error()}
+	}
+	exec := float64(time.Since(start)) / float64(time.Millisecond)
+	if s.execMs != nil {
+		exec = s.execMs(len(req.Frames))
+	}
+	return &DetectResponse{Verdict: v, ExecMs: exec}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Client is a keep-alive connection to a detection server with optional
+// injected one-way delay, emulating the tc-shaped WAN of the testbed.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	// oneWay is the injected delay applied before the request is sent and
+	// again before the response is considered received.
+	oneWay time.Duration
+}
+
+// Dial connects to a detection server. oneWay is the emulated per-direction
+// link delay (0 disables emulation).
+func Dial(addr string, oneWay time.Duration) (*Client, error) {
+	if oneWay < 0 {
+		return nil, fmt.Errorf("transport: negative one-way delay %v", oneWay)
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		_ = tcp.SetKeepAlive(true)
+	}
+	return &Client{conn: conn, oneWay: oneWay}, nil
+}
+
+// Detect sends one window for remote detection and returns the verdict,
+// the server-reported execution time, and the measured end-to-end delay in
+// milliseconds (including injected link delays).
+func (c *Client) Detect(frames [][]float64) (anomaly.Verdict, float64, float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := time.Now()
+	if c.oneWay > 0 {
+		time.Sleep(c.oneWay)
+	}
+	if err := writeMsg(c.conn, &DetectRequest{Frames: frames}); err != nil {
+		return anomaly.Verdict{}, 0, 0, err
+	}
+	var resp DetectResponse
+	if err := readMsg(c.conn, &resp); err != nil {
+		return anomaly.Verdict{}, 0, 0, fmt.Errorf("transport: reading response: %w", err)
+	}
+	if c.oneWay > 0 {
+		time.Sleep(c.oneWay)
+	}
+	if resp.Err != "" {
+		return anomaly.Verdict{}, 0, 0, fmt.Errorf("transport: remote detection: %s", resp.Err)
+	}
+	e2e := float64(time.Since(start)) / float64(time.Millisecond)
+	return resp.Verdict, resp.ExecMs, e2e, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/anomaly"
+)
+
+// thresholdDetector flags windows whose first value exceeds 1.
+type thresholdDetector struct{}
+
+func (thresholdDetector) Name() string { return "threshold" }
+
+func (thresholdDetector) Detect(frames [][]float64) (anomaly.Verdict, error) {
+	if len(frames) == 0 || len(frames[0]) == 0 {
+		return anomaly.Verdict{}, fmt.Errorf("empty window")
+	}
+	v := anomaly.Verdict{MinLogPD: -frames[0][0]}
+	if frames[0][0] > 1 {
+		v.Anomaly = true
+		v.Confident = true
+	}
+	return v, nil
+}
+
+func (thresholdDetector) NumParams() int           { return 1 }
+func (thresholdDetector) FlopsPerWindow(int) int64 { return 1 }
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", thresholdDetector{}, func(frames int) float64 {
+		return float64(frames) * 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("closing server: %v", err)
+		}
+	})
+	return srv
+}
+
+func TestServeRequiresDetector(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", nil, nil); err == nil {
+		t.Fatal("nil detector must be rejected")
+	}
+}
+
+func TestDetectRoundTrip(t *testing.T) {
+	srv := startServer(t)
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	v, exec, e2e, err := cli.Detect([][]float64{{2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Anomaly || !v.Confident {
+		t.Fatalf("verdict = %+v, want confident anomaly", v)
+	}
+	if exec != 1.0 { // 2 frames × 0.5 ms
+		t.Fatalf("exec = %g, want 1.0", exec)
+	}
+	if e2e <= 0 {
+		t.Fatalf("e2e = %g", e2e)
+	}
+
+	v, _, _, err = cli.Detect([][]float64{{0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Anomaly {
+		t.Fatal("normal window flagged")
+	}
+}
+
+func TestKeepAliveConnectionReuse(t *testing.T) {
+	srv := startServer(t)
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Many requests over one connection.
+	for i := 0; i < 50; i++ {
+		if _, _, _, err := cli.Detect([][]float64{{float64(i)}}); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	srv := startServer(t)
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, _, _, err := cli.Detect(nil); err == nil {
+		t.Fatal("server-side detection error must propagate")
+	}
+	// The connection must survive an application-level error.
+	if _, _, _, err := cli.Detect([][]float64{{0}}); err != nil {
+		t.Fatalf("connection unusable after remote error: %v", err)
+	}
+}
+
+func TestInjectedLatency(t *testing.T) {
+	srv := startServer(t)
+	const oneWay = 30 * time.Millisecond
+	cli, err := Dial(srv.Addr(), oneWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, _, e2e, err := cli.Detect([][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2e < 60 { // two injected one-way delays
+		t.Fatalf("e2e = %g ms, want ≥ 60 (RTT injection)", e2e)
+	}
+	if _, err := Dial(srv.Addr(), -time.Second); err == nil {
+		t.Fatal("negative delay must be rejected")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr(), 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < 20; i++ {
+				v, _, _, err := cli.Detect([][]float64{{float64(id%2) * 2}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := id%2 == 1; v.Anomaly != want {
+					errs <- fmt.Errorf("client %d: verdict %v, want %v", id, v.Anomaly, want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", thresholdDetector{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 0); err == nil {
+		t.Fatal("dialing a closed port must fail")
+	}
+}
+
+func TestMessageSizeLimit(t *testing.T) {
+	srv := startServer(t)
+	cli, err := Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// A >16 MB window must be rejected client-side before hitting the wire.
+	// Values must be irregular: gob encodes zero floats in one byte.
+	huge := make([][]float64, 1)
+	huge[0] = make([]float64, (maxMessageBytes/8)+1024)
+	for i := range huge[0] {
+		huge[0][i] = 1.0/(float64(i)+3) + 1e-9
+	}
+	if _, _, _, err := cli.Detect(huge); err == nil {
+		t.Fatal("oversized message must be rejected")
+	}
+}

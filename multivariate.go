@@ -1,0 +1,169 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/hec"
+	"repro/internal/seq2seq"
+)
+
+// anomalyDetector is a local alias keeping builder signatures readable.
+type anomalyDetector = anomaly.Detector
+
+// MultivariateOptions configures BuildMultivariate.
+type MultivariateOptions struct {
+	// Data parameterises the synthetic MHEALTH dataset.
+	Data dataset.MHealthConfig
+	// Sizing controls the seq2seq suite's hidden widths.
+	Sizing seq2seq.Sizing
+	// Train parameterises seq2seq training.
+	Train seq2seq.TrainConfig
+	// Policy parameterises adaptive-policy training.
+	Policy hec.PolicyConfig
+	// Topology is the HEC testbed model.
+	Topology hec.Topology
+	// Quantize applies FP16 compression to the IoT and edge models before
+	// deployment.
+	Quantize bool
+	// MaxTrainWindows caps the windows used per training epoch (0 = all);
+	// useful to bound pure-Go BPTT time.
+	MaxTrainWindows int
+	// Seed drives model initialisation and policy training.
+	Seed int64
+}
+
+// DefaultMultivariateOptions returns the benchmark-harness configuration:
+// paper-faithful splits (10 subjects, 70/30+5% splits, ~520 test windows)
+// and the paper's α = 3.5e-4.
+func DefaultMultivariateOptions() MultivariateOptions {
+	return MultivariateOptions{
+		Data:     dataset.DefaultMHealthConfig(),
+		Sizing:   seq2seq.DefaultSizing(),
+		Train:    seq2seq.DefaultTrainConfig(),
+		Policy:   hec.DefaultPolicyConfig(AlphaMultivariate),
+		Topology: hec.DefaultTopology(),
+		Quantize: true,
+		Seed:     2,
+	}
+}
+
+// FastMultivariateOptions returns a reduced configuration for tests and
+// examples: fewer subjects, shorter recordings, smaller models and fewer
+// epochs, same structure.
+func FastMultivariateOptions() MultivariateOptions {
+	opt := DefaultMultivariateOptions()
+	opt.Data.Subjects = 2
+	opt.Data.WalkSeconds = 40
+	opt.Data.OtherSeconds = 10
+	opt.Sizing.BaseHidden = 8
+	opt.Train.Epochs = 3
+	opt.Policy.Epochs = 10
+	opt.MaxTrainWindows = 60
+	return opt
+}
+
+// BuildMultivariate generates the MHEALTH-like dataset, trains the three
+// seq2seq detectors, deploys them across the HEC topology, trains the
+// adaptive policy, and precomputes test-split detections. The returned
+// System regenerates Table I/II (multivariate) and the Fig. 3b series.
+func BuildMultivariate(opt MultivariateOptions) (*System, error) {
+	ds, err := dataset.GenerateMHealth(opt.Data)
+	if err != nil {
+		return nil, fmt.Errorf("repro: generating mhealth data: %w", err)
+	}
+
+	trainWindows := make([][][]float64, len(ds.Train))
+	for i, s := range ds.Train {
+		trainWindows[i] = s.Frames
+	}
+	if opt.MaxTrainWindows > 0 && len(trainWindows) > opt.MaxTrainWindows {
+		trainWindows = trainWindows[:opt.MaxTrainWindows]
+	}
+
+	var detectors [hec.NumLayers]anomalyDetector
+	var iotModel *seq2seq.Model
+	tiers := [hec.NumLayers]seq2seq.Tier{seq2seq.TierIoT, seq2seq.TierEdge, seq2seq.TierCloud}
+	for l, tier := range tiers {
+		rng := derivedRng(opt.Seed, "seq2seq-"+tier.String())
+		m, err := seq2seq.New(tier, opt.Sizing, rng)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Fit(trainWindows, opt.Train, rng); err != nil {
+			return nil, fmt.Errorf("repro: training %s: %w", m.Name(), err)
+		}
+		if opt.Quantize && hec.Layer(l) != hec.LayerCloud {
+			m.Quantize()
+		}
+		detectors[l] = m
+		if hec.Layer(l) == hec.LayerIoT {
+			iotModel = m
+		}
+	}
+
+	dep, err := hec.NewDeployment(opt.Topology, toDetectorArray(detectors), true)
+	if err != nil {
+		return nil, err
+	}
+	// The multivariate context is the IoT model's encoder state: it is
+	// produced on-device as a by-product of local processing.
+	ext := features.EncoderExtractor{Encode: iotModel.EncodedState, Width: iotModel.StateDim()}
+	dep.PolicyOverheadMs = policyOverheadMs(opt.Topology, ext.Dim(), opt.Policy.Hidden)
+
+	policySamples, _ := multiToSamples(ds.PolicyTrain)
+	policyPC, err := hec.Precompute(dep, ext, policySamples)
+	if err != nil {
+		return nil, fmt.Errorf("repro: precomputing policy split: %w", err)
+	}
+	pol, err := hec.TrainPolicy(policyPC, opt.Policy, derivedRng(opt.Seed, "policy-multi"))
+	if err != nil {
+		return nil, fmt.Errorf("repro: training policy: %w", err)
+	}
+
+	testSamples, testMeta := multiToSamples(ds.Test)
+	testPC, err := hec.Precompute(dep, ext, testSamples)
+	if err != nil {
+		return nil, fmt.Errorf("repro: precomputing test split: %w", err)
+	}
+
+	return &System{
+		Kind:        Multivariate,
+		Deployment:  dep,
+		Policy:      pol,
+		Extractor:   ext,
+		Alpha:       opt.Policy.Alpha,
+		TestSamples: testSamples,
+		TestMeta:    testMeta,
+		testPC:      testPC,
+	}, nil
+}
+
+func multiToSamples(ss []dataset.MultiSample) ([]hec.Sample, []SampleMeta) {
+	samples := make([]hec.Sample, len(ss))
+	meta := make([]SampleMeta, len(ss))
+	for i, s := range ss {
+		samples[i] = hec.Sample{Frames: s.Frames, Label: s.Label}
+		meta[i] = SampleMeta{Hardness: s.Activity.Hardness(), Activity: s.Activity}
+	}
+	return samples, meta
+}
+
+// toDetectorArray converts the local alias array to the hec parameter type.
+func toDetectorArray(ds [hec.NumLayers]anomalyDetector) [hec.NumLayers]anomaly.Detector {
+	var out [hec.NumLayers]anomaly.Detector
+	for i, d := range ds {
+		out[i] = d
+	}
+	return out
+}
+
+// policyOverheadMs estimates the cost of one policy-network forward pass on
+// the IoT device (context extraction is a by-product of local processing
+// and effectively free).
+func policyOverheadMs(top hec.Topology, stateDim, hidden int) float64 {
+	flops := float64(2*stateDim*hidden + 2*hidden*hec.NumLayers)
+	return flops / top.Devices[hec.LayerIoT].DenseFlopsPerMs
+}

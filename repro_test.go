@@ -1,0 +1,175 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/hec"
+)
+
+// TestBuildUnivariateFast is the end-to-end integration test of the
+// univariate pipeline at reduced scale: data generation, three AE models,
+// FP16 compression, policy training, and Table I/II regeneration.
+func TestBuildUnivariateFast(t *testing.T) {
+	sys, err := BuildUnivariate(FastUnivariateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Kind != Univariate {
+		t.Fatalf("kind = %v", sys.Kind)
+	}
+	models, err := sys.ModelRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != hec.NumLayers {
+		t.Fatalf("%d model rows", len(models))
+	}
+	// Structural Table I invariants (paper Fig. 1a / Table I shape).
+	if !(models[0].NumParams < models[1].NumParams && models[1].NumParams < models[2].NumParams) {
+		t.Errorf("params not increasing: %d %d %d",
+			models[0].NumParams, models[1].NumParams, models[2].NumParams)
+	}
+	if !(models[0].ExecMs > models[1].ExecMs && models[1].ExecMs > models[2].ExecMs) {
+		t.Errorf("exec times not decreasing: %g %g %g",
+			models[0].ExecMs, models[1].ExecMs, models[2].ExecMs)
+	}
+	if models[0].Name != "AE-IoT" || models[2].Name != "AE-Cloud" {
+		t.Errorf("model names: %s / %s / %s", models[0].Name, models[1].Name, models[2].Name)
+	}
+
+	rows, err := sys.SchemeRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d scheme rows", len(rows))
+	}
+	byName := map[string]SchemeRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	// Table II delay structure: fixed-scheme delays increase up the
+	// hierarchy by the calibrated 250 ms per hop.
+	iot, edge, cloud := byName["IoT Device"], byName["Edge"], byName["Cloud"]
+	if !(iot.MeanDelayMs < edge.MeanDelayMs && edge.MeanDelayMs < cloud.MeanDelayMs) {
+		t.Errorf("fixed delays not increasing: %g %g %g",
+			iot.MeanDelayMs, edge.MeanDelayMs, cloud.MeanDelayMs)
+	}
+	if d := edge.MeanDelayMs - iot.MeanDelayMs; d < 230 || d > 270 {
+		t.Errorf("IoT→Edge delay delta %g, want ≈250 (Table II)", d)
+	}
+	if d := cloud.MeanDelayMs - edge.MeanDelayMs; d < 230 || d > 270 {
+		t.Errorf("Edge→Cloud delay delta %g, want ≈250 (Table II)", d)
+	}
+	// The adaptive scheme must substantially undercut always-cloud delay.
+	ours := byName["Our Method"]
+	if ours.MeanDelayMs >= cloud.MeanDelayMs {
+		t.Errorf("adaptive delay %g not below cloud %g", ours.MeanDelayMs, cloud.MeanDelayMs)
+	}
+	// Reward sums are finite and the evaluator counted every sample.
+	for _, r := range rows {
+		if r.Result.Confusion.Total() != len(sys.TestSamples) {
+			t.Errorf("%s evaluated %d of %d samples", r.Scheme, r.Result.Confusion.Total(), len(sys.TestSamples))
+		}
+	}
+}
+
+// TestBuildMultivariateFast is the multivariate pipeline's integration test
+// at reduced scale.
+func TestBuildMultivariateFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LSTM training is slow; skipped with -short")
+	}
+	sys, err := BuildMultivariate(FastMultivariateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := sys.ModelRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(models[0].NumParams < models[1].NumParams && models[1].NumParams < models[2].NumParams) {
+		t.Errorf("params not increasing: %d %d %d",
+			models[0].NumParams, models[1].NumParams, models[2].NumParams)
+	}
+	if !(models[0].ExecMs > models[1].ExecMs && models[1].ExecMs > models[2].ExecMs) {
+		t.Errorf("exec times not decreasing: %g %g %g",
+			models[0].ExecMs, models[1].ExecMs, models[2].ExecMs)
+	}
+	if models[2].Name != "BiLSTM-seq2seq-Cloud" {
+		t.Errorf("cloud model name %q", models[2].Name)
+	}
+	rows, err := sys.SchemeRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]SchemeRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	// Multivariate delays increase up the hierarchy (paper: 591 → 667.3 →
+	// 732.3 ms at default sizing; the fast options shrink the models, which
+	// shrinks execution times but preserves the ordering).
+	iot, edge, cloud := byName["IoT Device"], byName["Edge"], byName["Cloud"]
+	if !(iot.MeanDelayMs > 0 && iot.MeanDelayMs < edge.MeanDelayMs && edge.MeanDelayMs < cloud.MeanDelayMs) {
+		t.Errorf("multivariate delays not increasing: %g %g %g",
+			iot.MeanDelayMs, edge.MeanDelayMs, cloud.MeanDelayMs)
+	}
+}
+
+// TestResultPanelSeries exercises the Fig. 3b data product.
+func TestResultPanelSeries(t *testing.T) {
+	sys, err := BuildUnivariate(FastUnivariateOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ResultPanel(hec.Successive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(sys.TestSamples)
+	if len(res.Predictions) != n || len(res.DelaysMs) != n ||
+		len(res.Layers) != n || len(res.AccSeries) != n || len(res.F1Series) != n {
+		t.Fatal("per-sample series incomplete")
+	}
+	// Running accuracy is a valid probability at every step.
+	for i, a := range res.AccSeries {
+		if a < 0 || a > 1 {
+			t.Fatalf("AccSeries[%d] = %g", i, a)
+		}
+	}
+}
+
+// TestUniSampleFrames checks the public conversion helper.
+func TestUniSampleFrames(t *testing.T) {
+	s := dataset.UniSample{Values: []float64{1, 2, 3}}
+	frames := UniSampleFrames(s)
+	if len(frames) != 3 || frames[1][0] != 2 || len(frames[0]) != 1 {
+		t.Fatalf("frames = %v", frames)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Univariate.String() != "univariate" || Multivariate.String() != "multivariate" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Fatal("out-of-range kind name wrong")
+	}
+}
+
+// TestDerivedRngStable pins the label-derived seeding so trained artifacts
+// stay reproducible across refactors.
+func TestDerivedRngStable(t *testing.T) {
+	a := derivedRng(1, "ae-IoT").Int63()
+	b := derivedRng(1, "ae-IoT").Int63()
+	c := derivedRng(1, "ae-Edge").Int63()
+	d := derivedRng(2, "ae-IoT").Int63()
+	if a != b {
+		t.Fatal("same seed+label must agree")
+	}
+	if a == c || a == d {
+		t.Fatal("different labels/seeds must differ")
+	}
+}

@@ -1,0 +1,134 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/autoencoder"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/hec"
+)
+
+// UnivariateOptions configures BuildUnivariate.
+type UnivariateOptions struct {
+	// Data parameterises the synthetic power-demand dataset.
+	Data dataset.PowerConfig
+	// Train parameterises autoencoder training.
+	Train autoencoder.TrainConfig
+	// Policy parameterises adaptive-policy training; its Alpha is the
+	// system's delay-cost weight.
+	Policy hec.PolicyConfig
+	// Topology is the HEC testbed model.
+	Topology hec.Topology
+	// Quantize applies FP16 compression to the IoT and edge models before
+	// deployment, as the paper does.
+	Quantize bool
+	// Seed drives model initialisation and policy training.
+	Seed int64
+}
+
+// DefaultUnivariateOptions returns the benchmark-harness configuration:
+// paper-faithful splits (104 training weeks, 52 test weeks) and the paper's
+// α = 5e-4.
+func DefaultUnivariateOptions() UnivariateOptions {
+	return UnivariateOptions{
+		Data:     dataset.DefaultPowerConfig(),
+		Train:    autoencoder.DefaultTrainConfig(),
+		Policy:   hec.DefaultPolicyConfig(AlphaUnivariate),
+		Topology: hec.DefaultTopology(),
+		Quantize: true,
+		Seed:     1,
+	}
+}
+
+// FastUnivariateOptions returns a reduced configuration for tests and the
+// quickstart example: smaller splits and fewer epochs, same structure.
+func FastUnivariateOptions() UnivariateOptions {
+	opt := DefaultUnivariateOptions()
+	opt.Data.TrainWeeks = 30
+	opt.Data.TestWeeks = 26
+	opt.Data.PolicyWeeks = 26
+	opt.Train.Epochs = 15
+	opt.Policy.Epochs = 12
+	return opt
+}
+
+// BuildUnivariate generates the power-demand dataset, trains the three
+// autoencoder detectors, deploys them across the HEC topology, trains the
+// adaptive policy on the policy split, and precomputes test-split
+// detections. The returned System regenerates Table I/II (univariate) and
+// the Fig. 3b series.
+func BuildUnivariate(opt UnivariateOptions) (*System, error) {
+	ds, err := dataset.GeneratePower(opt.Data)
+	if err != nil {
+		return nil, fmt.Errorf("repro: generating power data: %w", err)
+	}
+
+	trainValues := make([][]float64, len(ds.Train))
+	for i, s := range ds.Train {
+		trainValues[i] = s.Values
+	}
+
+	var detectors [hec.NumLayers]anomalyDetector
+	tiers := [hec.NumLayers]autoencoder.Tier{autoencoder.TierIoT, autoencoder.TierEdge, autoencoder.TierCloud}
+	for l, tier := range tiers {
+		rng := derivedRng(opt.Seed, "ae-"+tier.String())
+		m, err := autoencoder.New(tier, dataset.ReadingsPerWeek, rng)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Fit(trainValues, opt.Train, rng); err != nil {
+			return nil, fmt.Errorf("repro: training %s: %w", m.Name(), err)
+		}
+		// The paper compresses the models deployed on constrained hardware
+		// (IoT and edge) to FP16 before deployment.
+		if opt.Quantize && hec.Layer(l) != hec.LayerCloud {
+			m.Quantize()
+		}
+		detectors[l] = m
+	}
+
+	dep, err := hec.NewDeployment(opt.Topology, toDetectorArray(detectors), false)
+	if err != nil {
+		return nil, err
+	}
+	ext := features.UnivariateExtractor{}
+	dep.PolicyOverheadMs = policyOverheadMs(opt.Topology, ext.Dim(), opt.Policy.Hidden)
+
+	policySamples, _ := uniToSamples(ds.PolicyTrain)
+	policyPC, err := hec.Precompute(dep, ext, policySamples)
+	if err != nil {
+		return nil, fmt.Errorf("repro: precomputing policy split: %w", err)
+	}
+	pol, err := hec.TrainPolicy(policyPC, opt.Policy, derivedRng(opt.Seed, "policy-uni"))
+	if err != nil {
+		return nil, fmt.Errorf("repro: training policy: %w", err)
+	}
+
+	testSamples, testMeta := uniToSamples(ds.Test)
+	testPC, err := hec.Precompute(dep, ext, testSamples)
+	if err != nil {
+		return nil, fmt.Errorf("repro: precomputing test split: %w", err)
+	}
+
+	return &System{
+		Kind:        Univariate,
+		Deployment:  dep,
+		Policy:      pol,
+		Extractor:   ext,
+		Alpha:       opt.Policy.Alpha,
+		TestSamples: testSamples,
+		TestMeta:    testMeta,
+		testPC:      testPC,
+	}, nil
+}
+
+func uniToSamples(ss []dataset.UniSample) ([]hec.Sample, []SampleMeta) {
+	samples := make([]hec.Sample, len(ss))
+	meta := make([]SampleMeta, len(ss))
+	for i, s := range ss {
+		samples[i] = hec.Sample{Frames: UniSampleFrames(s), Label: s.Label}
+		meta[i] = SampleMeta{Hardness: s.Hardness}
+	}
+	return samples, meta
+}
