@@ -202,6 +202,61 @@ func BenchmarkAblationAlphaSweep(b *testing.B) {
 	}
 }
 
+// --- Parallel evaluation engine ---------------------------------------
+
+// BenchmarkPrecomputeSequential measures the hot path of every build — all
+// three detectors over the full test split — pinned to one worker. Compare
+// against BenchmarkPrecomputeParallel: at GOMAXPROCS ≥ 4 the parallel
+// engine should win by ≥ 2×, since detection is compute-bound and shards
+// perfectly by sample.
+func BenchmarkPrecomputeSequential(b *testing.B) {
+	benchmarkPrecompute(b, hec.PrecomputeOptions{Workers: 1})
+}
+
+// BenchmarkPrecomputeParallel is the same workload on one worker per CPU.
+func BenchmarkPrecomputeParallel(b *testing.B) {
+	benchmarkPrecompute(b, hec.PrecomputeOptions{})
+}
+
+func benchmarkPrecompute(b *testing.B, opt hec.PrecomputeOptions) {
+	sys := univariateSystem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hec.PrecomputeWith(sys.Deployment, sys.Extractor, sys.TestSamples, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchemeEvaluationSequential evaluates the five Table II schemes
+// one after another; BenchmarkSchemeEvaluationParallel runs them through
+// ParallelEvaluate, the engine behind SchemeRows.
+func BenchmarkSchemeEvaluationSequential(b *testing.B) {
+	sys := univariateSystem(b)
+	schemes := hec.AllSchemes(sys.Policy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range schemes {
+			if _, err := hec.Evaluate(s, sys.Precomputed(), sys.Alpha); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSchemeEvaluationParallel is the concurrent counterpart.
+func BenchmarkSchemeEvaluationParallel(b *testing.B) {
+	sys := univariateSystem(b)
+	schemes := hec.AllSchemes(sys.Policy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hec.ParallelEvaluate(schemes, sys.Precomputed(), sys.Alpha); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Micro-benchmarks for the substrates ------------------------------
 
 // BenchmarkAEForward measures one AE-Cloud inference on a weekly window,

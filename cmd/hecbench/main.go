@@ -8,6 +8,8 @@
 //	hecbench -data multivariate -table 2      # Table II, multivariate suite
 //	hecbench -data univariate -table all      # everything incl. Fig. 3b
 //	hecbench -fast                            # reduced scale (CI-friendly)
+//	hecbench -fast -reps 8                    # Monte-Carlo: 8 seeds in
+//	                                          # parallel, Table II mean±std
 package main
 
 import (
@@ -23,10 +25,12 @@ import (
 
 func main() {
 	var (
-		data  = flag.String("data", "univariate", "dataset: univariate | multivariate | both")
-		table = flag.String("table", "all", "artifact: 1 | 2 | fig3b | all")
-		fast  = flag.Bool("fast", false, "reduced scale for quick runs")
-		seed  = flag.Int64("seed", 0, "override the build seed (0 keeps defaults)")
+		data    = flag.String("data", "univariate", "dataset: univariate | multivariate | both")
+		table   = flag.String("table", "all", "artifact: 1 | 2 | fig3b | all")
+		fast    = flag.Bool("fast", false, "reduced scale for quick runs")
+		seed    = flag.Int64("seed", 0, "override the build seed (0 keeps defaults)")
+		reps    = flag.Int("reps", 1, "Monte-Carlo repetitions over seeds seed+1..seed+reps (aggregated Table II)")
+		workers = flag.Int("workers", 0, "concurrent Monte-Carlo builds (<1 = a small CPU-based default; each build is itself internally parallel)")
 	)
 	flag.Parse()
 
@@ -35,8 +39,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hecbench:", err)
 		os.Exit(2)
 	}
+	if *reps > 1 && *table != "2" && *table != "all" {
+		fmt.Fprintf(os.Stderr, "hecbench: -table %s is not supported with -reps > 1 (Monte-Carlo aggregates Table II only)\n", *table)
+		os.Exit(2)
+	}
+	if *reps > 1 && *seed < 0 {
+		// Rep seeds are seed+1..seed+reps; a negative base could hit seed 0,
+		// which buildSystem treats as "keep defaults" and would silently
+		// duplicate a repetition.
+		fmt.Fprintln(os.Stderr, "hecbench: -seed must be >= 0 with -reps > 1")
+		os.Exit(2)
+	}
 	for _, kind := range kinds {
-		if err := run(kind, *table, *fast, *seed); err != nil {
+		var err error
+		if *reps > 1 {
+			err = runMonteCarlo(kind, *fast, *seed, *reps, *workers)
+		} else {
+			err = run(kind, *table, *fast, *seed)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "hecbench:", err)
 			os.Exit(1)
 		}
@@ -56,11 +77,9 @@ func parseKinds(s string) ([]repro.Kind, error) {
 	}
 }
 
-func run(kind repro.Kind, table string, fast bool, seed int64) error {
-	start := time.Now()
-	fmt.Printf("== building %v system (fast=%v) ==\n", kind, fast)
-	var sys *repro.System
-	var err error
+// buildSystem builds one system of the given kind; seed 0 keeps the
+// defaults.
+func buildSystem(kind repro.Kind, fast bool, seed int64) (*repro.System, error) {
 	switch kind {
 	case repro.Univariate:
 		opt := repro.DefaultUnivariateOptions()
@@ -71,7 +90,7 @@ func run(kind repro.Kind, table string, fast bool, seed int64) error {
 			opt.Seed = seed
 			opt.Data.Seed = seed
 		}
-		sys, err = repro.BuildUnivariate(opt)
+		return repro.BuildUnivariate(opt)
 	case repro.Multivariate:
 		opt := repro.DefaultMultivariateOptions()
 		if fast {
@@ -81,10 +100,16 @@ func run(kind repro.Kind, table string, fast bool, seed int64) error {
 			opt.Seed = seed
 			opt.Data.Seed = seed
 		}
-		sys, err = repro.BuildMultivariate(opt)
+		return repro.BuildMultivariate(opt)
 	default:
-		return fmt.Errorf("unknown kind %v", kind)
+		return nil, fmt.Errorf("unknown kind %v", kind)
 	}
+}
+
+func run(kind repro.Kind, table string, fast bool, seed int64) error {
+	start := time.Now()
+	fmt.Printf("== building %v system (fast=%v) ==\n", kind, fast)
+	sys, err := buildSystem(kind, fast, seed)
 	if err != nil {
 		return fmt.Errorf("building %v system: %w", kind, err)
 	}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/parallel"
+)
+
+// runMonteCarlo builds reps systems with seeds seed+1..seed+reps
+// concurrently and prints the per-scheme mean ± sample standard deviation
+// of the Table II metrics — the repetition study a single-seed run cannot
+// give. Each repetition regenerates its dataset, retrains every detector
+// and the policy, so the spread measures the whole pipeline's seed
+// sensitivity.
+func runMonteCarlo(kind repro.Kind, fast bool, seed int64, reps, workers int) error {
+	start := time.Now()
+	// Each build already fans its precompute and tier training out across
+	// the CPUs, so the outer level defaults to a small count rather than
+	// one per CPU — bounding both oversubscription and the number of fully
+	// trained systems resident at once.
+	if workers < 1 {
+		workers = min(4, runtime.GOMAXPROCS(0))
+	}
+	fmt.Printf("== Monte-Carlo: %d %v repetitions (fast=%v, workers=%d) ==\n",
+		reps, kind, fast, parallel.Workers(workers, reps))
+	fmt.Println("   (Monte-Carlo aggregates Table II only; Table I and fig3b need -reps 1)")
+	rows, err := parallel.Map(workers, reps, func(i int) ([]repro.SchemeRow, error) {
+		sys, err := buildSystem(kind, fast, seed+int64(i)+1)
+		if err != nil {
+			return nil, fmt.Errorf("rep %d: %w", i, err)
+		}
+		return sys.SchemeRows()
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %d systems built and evaluated in %v\n\n", reps, time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("TABLE II (%v, %d seeds): mean ± std per scheme\n", kind, reps)
+	fmt.Printf("%-12s %16s %18s %22s %18s\n", "Scheme", "F1", "Accuracy(%)", "Delay(ms)", "Reward")
+	for s := range rows[0] {
+		name := rows[0][s].Scheme
+		f1 := make([]float64, reps)
+		acc := make([]float64, reps)
+		delay := make([]float64, reps)
+		reward := make([]float64, reps)
+		for r, row := range rows {
+			if row[s].Scheme != name {
+				return fmt.Errorf("rep %d: scheme order diverged (%q vs %q)", r, row[s].Scheme, name)
+			}
+			f1[r] = row[s].F1
+			acc[r] = row[s].Accuracy * 100
+			delay[r] = row[s].MeanDelayMs
+			reward[r] = row[s].RewardSum
+		}
+		fmt.Printf("%-12s %8.3f ± %.3f %10.2f ± %.2f %12.2f ± %.2f %10.2f ± %.2f\n",
+			name, mean(f1), std(f1), mean(acc), std(acc), mean(delay), std(delay), mean(reward), std(reward))
+	}
+
+	// The abstract's headline claim, now with error bars.
+	cloudDelay := make([]float64, reps)
+	oursDelay := make([]float64, reps)
+	for r, row := range rows {
+		for _, sr := range row {
+			switch sr.Scheme {
+			case "Cloud":
+				cloudDelay[r] = sr.MeanDelayMs
+			case "Our Method":
+				oursDelay[r] = sr.MeanDelayMs
+			}
+		}
+	}
+	saving := make([]float64, reps)
+	for r := range saving {
+		if cloudDelay[r] > 0 {
+			saving[r] = (1 - oursDelay[r]/cloudDelay[r]) * 100
+		}
+	}
+	fmt.Printf("-- delay reduction vs Cloud: %.1f%% ± %.1f (paper: 71.4%% univariate, 7.84%% multivariate)\n\n",
+		mean(saving), std(saving))
+	return nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// std is the sample standard deviation (n−1); it returns 0 for a single
+// repetition.
+func std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}

@@ -1,0 +1,37 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleBuildUnivariate is the quick-start path from the README: build the
+// univariate system at reduced scale, then regenerate the paper's tables.
+func ExampleBuildUnivariate() {
+	sys, err := repro.BuildUnivariate(repro.FastUnivariateOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	models, err := sys.ModelRows() // Table I
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range models {
+		fmt.Println(m.Layer, m.Name)
+	}
+	schemes, err := sys.SchemeRows() // Table II
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schemes evaluated:", len(schemes))
+	fmt.Println("adaptive beats always-cloud delay:",
+		schemes[4].MeanDelayMs < schemes[2].MeanDelayMs)
+	// Output:
+	// IoT AE-IoT
+	// Edge AE-Edge
+	// Cloud AE-Cloud
+	// schemes evaluated: 5
+	// adaptive beats always-cloud delay: true
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/features"
+	"repro/internal/parallel"
 )
 
 // Sample is one detection task: a window of frames plus its ground truth.
@@ -97,9 +98,29 @@ type Precomputed struct {
 	PolicyOverheadMs float64
 }
 
-// Precompute runs every detector on every sample and extracts contexts.
-// ext may be nil when no adaptive scheme will be used.
+// PrecomputeOptions tunes Precompute's evaluation engine.
+type PrecomputeOptions struct {
+	// Workers is the number of goroutines detecting samples concurrently.
+	// Values < 1 mean one worker per available CPU (GOMAXPROCS); 1 forces
+	// the sequential path.
+	Workers int
+}
+
+// Precompute runs every detector on every sample and extracts contexts,
+// fanning samples out across one worker per available CPU. ext may be nil
+// when no adaptive scheme will be used. Use PrecomputeWith to control the
+// worker count.
 func Precompute(dep *Deployment, ext features.Extractor, samples []Sample) (*Precomputed, error) {
+	return PrecomputeWith(dep, ext, samples, PrecomputeOptions{})
+}
+
+// PrecomputeWith is Precompute with explicit options.
+//
+// Detection is deterministic per sample and inference never mutates model
+// state, so samples shard safely by index: worker i writes only
+// Outcomes[i] / Contexts[i], and the result is identical to the sequential
+// path (Workers: 1) for any worker count.
+func PrecomputeWith(dep *Deployment, ext features.Extractor, samples []Sample, opt PrecomputeOptions) (*Precomputed, error) {
 	pc := &Precomputed{
 		Samples:          samples,
 		Outcomes:         make([][NumLayers]Outcome, len(samples)),
@@ -115,25 +136,30 @@ func Precompute(dep *Deployment, ext features.Extractor, samples []Sample) (*Pre
 	if ext != nil {
 		pc.Contexts = make([][]float64, len(samples))
 	}
-	for i, s := range samples {
+	err := parallel.ForEach(opt.Workers, len(samples), func(i int) error {
+		s := samples[i]
 		for l := Layer(0); l < NumLayers; l++ {
 			v, err := dep.Detectors[l].Detect(s.Frames)
 			if err != nil {
-				return nil, fmt.Errorf("hec: precompute sample %d layer %v: %w", i, l, err)
+				return fmt.Errorf("hec: precompute sample %d layer %v: %w", i, l, err)
 			}
 			exec, err := dep.ExecMs(l, len(s.Frames))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			pc.Outcomes[i][l] = Outcome{Verdict: v, ExecMs: exec, E2EMs: pc.RTTs[l] + exec}
 		}
 		if ext != nil {
 			z, err := ext.Context(s.Frames)
 			if err != nil {
-				return nil, fmt.Errorf("hec: precompute context %d: %w", i, err)
+				return fmt.Errorf("hec: precompute context %d: %w", i, err)
 			}
 			pc.Contexts[i] = z
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return pc, nil
 }

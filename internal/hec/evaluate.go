@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 )
 
@@ -77,6 +78,17 @@ func Evaluate(s Scheme, pc *Precomputed, alpha float64) (*Result, error) {
 	return res, nil
 }
 
+// ParallelEvaluate runs each scheme over the precomputed sample set on its
+// own goroutine and returns the results in scheme order. Schemes only read
+// the precomputed outcomes (and, for Adaptive, run read-only forward passes
+// through the policy network), so concurrent evaluation returns exactly
+// what len(schemes) sequential Evaluate calls would.
+func ParallelEvaluate(schemes []Scheme, pc *Precomputed, alpha float64) ([]*Result, error) {
+	return parallel.Map(0, len(schemes), func(i int) (*Result, error) {
+		return Evaluate(schemes[i], pc, alpha)
+	})
+}
+
 // PolicyConfig parameterises adaptive-policy training.
 type PolicyConfig struct {
 	// Hidden is the policy network's hidden width (the paper uses 100).
@@ -89,6 +101,14 @@ type PolicyConfig struct {
 	LR float64
 	// Beta is the reinforcement-comparison baseline rate.
 	Beta float64
+	// Rollout batches REINFORCE steps: actions for Rollout samples are
+	// drawn under a frozen policy and their rewards evaluated concurrently
+	// before the (sequential, deterministic) updates apply. Values < 2 keep
+	// the paper's one-sample-at-a-time training.
+	Rollout int
+	// RolloutWorkers bounds the goroutines evaluating a rollout's rewards;
+	// < 1 means one per available CPU.
+	RolloutWorkers int
 }
 
 // DefaultPolicyConfig returns the harness settings with the paper's
@@ -119,21 +139,44 @@ func TrainPolicy(pc *Precomputed, cfg PolicyConfig, rng *rand.Rand) (*policy.Net
 	if err != nil {
 		return nil, err
 	}
+	reward := func(i, action int) (float64, error) {
+		if action >= NumLayers {
+			return 0, fmt.Errorf("action %d out of range", action)
+		}
+		o := pc.Outcomes[i][Layer(action)]
+		correct := o.Verdict.Anomaly == pc.Samples[i].Label
+		return policy.Reward(correct, cfg.Alpha, pc.PolicyOverheadMs+o.E2EMs), nil
+	}
 	order := make([]int, len(pc.Samples))
 	for i := range order {
 		order[i] = i
 	}
 	for e := 0; e < cfg.Epochs; e++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		if cfg.Rollout > 1 {
+			for start := 0; start < len(order); start += cfg.Rollout {
+				end := start + cfg.Rollout
+				if end > len(order) {
+					end = len(order)
+				}
+				batch := order[start:end]
+				zs := make([][]float64, len(batch))
+				for k, i := range batch {
+					zs[k] = pc.Contexts[i]
+				}
+				_, _, err := tr.StepBatch(zs, func(k, action int) (float64, error) {
+					return reward(batch[k], action)
+				}, cfg.RolloutWorkers, rng)
+				if err != nil {
+					return nil, fmt.Errorf("hec: policy training batch at %d: %w", start, err)
+				}
+			}
+			continue
+		}
 		for _, i := range order {
 			i := i
 			_, _, err := tr.Step(pc.Contexts[i], func(action int) (float64, error) {
-				if action >= NumLayers {
-					return 0, fmt.Errorf("action %d out of range", action)
-				}
-				o := pc.Outcomes[i][Layer(action)]
-				correct := o.Verdict.Anomaly == pc.Samples[i].Label
-				return policy.Reward(correct, cfg.Alpha, pc.PolicyOverheadMs+o.E2EMs), nil
+				return reward(i, action)
 			}, rng)
 			if err != nil {
 				return nil, fmt.Errorf("hec: policy training sample %d: %w", i, err)

@@ -1,0 +1,168 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := Workers(-3, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3, 100) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want clamp to 3", w)
+	}
+	if w := Workers(2, 100); w != 2 {
+		t.Fatalf("Workers(2, 100) = %d", w)
+	}
+	if w := Workers(5, 0); w != 1 {
+		t.Fatalf("Workers(5, 0) = %d, want 1", w)
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		n := 500
+		counts := make([]atomic.Int32, n)
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSingleWorkerIsOrdered(t *testing.T) {
+	var got []int
+	if err := ForEach(1, 5, func(i int) error {
+		got = append(got, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("single-worker order %v", got)
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	// Only task 0 fails. Index 0 is handed out before any task has run, and
+	// no other task can flip the failure flag, so fn(0) always executes and
+	// its error is deterministically the one reported.
+	err := ForEach(4, 64, func(i int) error {
+		if i == 0 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 0 failed" {
+		t.Fatalf("err = %v, want task 0's error", err)
+	}
+	// With several failures the schedule decides which tasks ran, but the
+	// error must still be one of the failing tasks'.
+	err = ForEach(4, 64, func(i int) error { return fmt.Errorf("task %d failed", i) })
+	if err == nil {
+		t.Fatal("errors were swallowed")
+	}
+}
+
+func TestForEachStopsHandingOutWorkAfterFailure(t *testing.T) {
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	err := ForEach(2, 10_000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n == 10_000 {
+		t.Fatal("failure did not short-circuit the remaining work")
+	}
+}
+
+func TestMapOrdersResults(t *testing.T) {
+	got, err := Map(8, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	got, err := Map(4, 10, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || got != nil {
+		t.Fatalf("got %v, err %v", got, err)
+	}
+}
+
+func TestGroupWaitsAndReportsError(t *testing.T) {
+	var g Group
+	var done atomic.Int32
+	boom := errors.New("boom")
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(func() error {
+			done.Add(1)
+			if i == 5 {
+				return boom
+			}
+			return nil
+		})
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if done.Load() != 8 {
+		t.Fatalf("%d tasks completed, want 8 (Group must not abandon siblings)", done.Load())
+	}
+}
+
+func TestGroupRecoversPanic(t *testing.T) {
+	var g Group
+	g.Go(func() error { panic("kaboom") })
+	err := g.Wait()
+	if err == nil {
+		t.Fatal("panic must surface as an error")
+	}
+}
+
+func TestGroupNoTasks(t *testing.T) {
+	var g Group
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // Cost maps an end-to-end detection delay (milliseconds) to an equivalent
@@ -195,4 +196,75 @@ func (t *Trainer) Step(z []float64, rewardFn func(action int) (float64, error), 
 	}
 	t.baseline += t.Beta * (reward - t.baseline)
 	return action, reward, nil
+}
+
+// StepBatch runs one batched REINFORCE rollout over a batch of contexts:
+// every action is sampled under the current (frozen) policy, the rewards
+// are evaluated concurrently across workers (the expensive part when the
+// reward runs a detector), and the parameter updates are applied
+// sequentially in index order.
+//
+// Determinism: rng is consumed once per context in index order, the reward
+// function receives (index, action) so it can replay precomputed outcomes,
+// and updates apply in index order — so a fixed rng yields a fixed training
+// trajectory regardless of the worker count. The gradient for item i uses
+// the policy as updated by items 0..i−1 while its action was sampled under
+// the batch-start policy; for the small batches used here that off-policy
+// drift is negligible, and it vanishes at batch size 1, where StepBatch
+// degenerates to Step.
+func (t *Trainer) StepBatch(zs [][]float64, rewardFn func(i, action int) (float64, error), workers int, rng *rand.Rand) ([]int, []float64, error) {
+	n := len(zs)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("policy: empty rollout batch")
+	}
+	// Action distributions under the frozen batch-start policy, in parallel:
+	// inference is read-only on the network.
+	probs, err := parallel.Map(workers, n, func(i int) ([]float64, error) {
+		return t.Net.Probs(zs[i])
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Sample sequentially so the rng stream is independent of scheduling.
+	actions := make([]int, n)
+	for i, pr := range probs {
+		r := rng.Float64()
+		actions[i] = len(pr) - 1 // numerical tail
+		var cum float64
+		for a, p := range pr {
+			cum += p
+			if r < cum {
+				actions[i] = a
+				break
+			}
+		}
+	}
+	rewards, err := parallel.Map(workers, n, func(i int) (float64, error) {
+		rw, err := rewardFn(i, actions[i])
+		if err != nil {
+			return 0, fmt.Errorf("policy: reward for rollout %d action %d: %w", i, actions[i], err)
+		}
+		if math.IsNaN(rw) || math.IsInf(rw, 0) {
+			return 0, fmt.Errorf("policy: non-finite reward %g for rollout %d", rw, i)
+		}
+		return rw, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		if !t.initialised {
+			t.baseline = rewards[i]
+			t.initialised = true
+		}
+		advantage := rewards[i] - t.baseline
+		if err := t.Net.reinforce(zs[i], actions[i], advantage); err != nil {
+			return nil, nil, err
+		}
+		if err := t.Opt.Step(t.Net.Params()); err != nil {
+			return nil, nil, err
+		}
+		t.baseline += t.Beta * (rewards[i] - t.baseline)
+	}
+	return actions, rewards, nil
 }

@@ -7,6 +7,8 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/features"
 	"repro/internal/hec"
+	"repro/internal/parallel"
+	"repro/internal/policy"
 	"repro/internal/seq2seq"
 )
 
@@ -83,17 +85,22 @@ func BuildMultivariate(opt MultivariateOptions) (*System, error) {
 		trainWindows = trainWindows[:opt.MaxTrainWindows]
 	}
 
+	// The three tiers train concurrently (the dominant cost of a
+	// multivariate build): each draws from its own label-derived RNG and
+	// touches only detectors[l], so the trained weights are identical to a
+	// sequential build.
 	var detectors [hec.NumLayers]anomalyDetector
 	var iotModel *seq2seq.Model
 	tiers := [hec.NumLayers]seq2seq.Tier{seq2seq.TierIoT, seq2seq.TierEdge, seq2seq.TierCloud}
-	for l, tier := range tiers {
+	err = parallel.ForEach(0, len(tiers), func(l int) error {
+		tier := tiers[l]
 		rng := derivedRng(opt.Seed, "seq2seq-"+tier.String())
 		m, err := seq2seq.New(tier, opt.Sizing, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := m.Fit(trainWindows, opt.Train, rng); err != nil {
-			return nil, fmt.Errorf("repro: training %s: %w", m.Name(), err)
+			return fmt.Errorf("repro: training %s: %w", m.Name(), err)
 		}
 		if opt.Quantize && hec.Layer(l) != hec.LayerCloud {
 			m.Quantize()
@@ -102,6 +109,10 @@ func BuildMultivariate(opt MultivariateOptions) (*System, error) {
 		if hec.Layer(l) == hec.LayerIoT {
 			iotModel = m
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	dep, err := hec.NewDeployment(opt.Topology, toDetectorArray(detectors), true)
@@ -113,20 +124,36 @@ func BuildMultivariate(opt MultivariateOptions) (*System, error) {
 	ext := features.EncoderExtractor{Encode: iotModel.EncodedState, Width: iotModel.StateDim()}
 	dep.PolicyOverheadMs = policyOverheadMs(opt.Topology, ext.Dim(), opt.Policy.Hidden)
 
+	// Policy training (single-threaded REINFORCE over the policy split) and
+	// test-split precomputation touch disjoint state, so they overlap.
 	policySamples, _ := multiToSamples(ds.PolicyTrain)
-	policyPC, err := hec.Precompute(dep, ext, policySamples)
-	if err != nil {
-		return nil, fmt.Errorf("repro: precomputing policy split: %w", err)
-	}
-	pol, err := hec.TrainPolicy(policyPC, opt.Policy, derivedRng(opt.Seed, "policy-multi"))
-	if err != nil {
-		return nil, fmt.Errorf("repro: training policy: %w", err)
-	}
-
 	testSamples, testMeta := multiToSamples(ds.Test)
-	testPC, err := hec.Precompute(dep, ext, testSamples)
-	if err != nil {
-		return nil, fmt.Errorf("repro: precomputing test split: %w", err)
+	var (
+		pol    *policy.Network
+		testPC *hec.Precomputed
+		g      parallel.Group
+	)
+	g.Go(func() error {
+		policyPC, err := hec.Precompute(dep, ext, policySamples)
+		if err != nil {
+			return fmt.Errorf("repro: precomputing policy split: %w", err)
+		}
+		pol, err = hec.TrainPolicy(policyPC, opt.Policy, derivedRng(opt.Seed, "policy-multi"))
+		if err != nil {
+			return fmt.Errorf("repro: training policy: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		testPC, err = hec.Precompute(dep, ext, testSamples)
+		if err != nil {
+			return fmt.Errorf("repro: precomputing test split: %w", err)
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 
 	return &System{

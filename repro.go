@@ -146,14 +146,17 @@ func (s *System) ModelRows() ([]ModelRow, error) {
 }
 
 // SchemeRows regenerates Table II: the five schemes evaluated on the test
-// split with this system's α.
+// split with this system's α. The schemes run concurrently (they replay
+// read-only precomputed outcomes), which is the ParallelEvaluate engine;
+// rows come back in the paper's scheme order regardless.
 func (s *System) SchemeRows() ([]SchemeRow, error) {
-	rows := make([]SchemeRow, 0, 5)
-	for _, scheme := range hec.AllSchemes(s.Policy) {
-		res, err := hec.Evaluate(scheme, s.testPC, s.Alpha)
-		if err != nil {
-			return nil, fmt.Errorf("repro: evaluating %q: %w", scheme.Name(), err)
-		}
+	schemes := hec.AllSchemes(s.Policy)
+	results, err := hec.ParallelEvaluate(schemes, s.testPC, s.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("repro: evaluating schemes: %w", err)
+	}
+	rows := make([]SchemeRow, 0, len(results))
+	for _, res := range results {
 		rows = append(rows, SchemeRow{
 			Scheme:      res.Scheme,
 			F1:          res.Confusion.F1(),

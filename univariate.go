@@ -7,6 +7,8 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/features"
 	"repro/internal/hec"
+	"repro/internal/parallel"
+	"repro/internal/policy"
 )
 
 // UnivariateOptions configures BuildUnivariate.
@@ -69,16 +71,20 @@ func BuildUnivariate(opt UnivariateOptions) (*System, error) {
 		trainValues[i] = s.Values
 	}
 
+	// The three tiers train concurrently: each draws from its own
+	// label-derived RNG and touches only detectors[l], so the trained
+	// weights are identical to a sequential build.
 	var detectors [hec.NumLayers]anomalyDetector
 	tiers := [hec.NumLayers]autoencoder.Tier{autoencoder.TierIoT, autoencoder.TierEdge, autoencoder.TierCloud}
-	for l, tier := range tiers {
+	err = parallel.ForEach(0, len(tiers), func(l int) error {
+		tier := tiers[l]
 		rng := derivedRng(opt.Seed, "ae-"+tier.String())
 		m, err := autoencoder.New(tier, dataset.ReadingsPerWeek, rng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := m.Fit(trainValues, opt.Train, rng); err != nil {
-			return nil, fmt.Errorf("repro: training %s: %w", m.Name(), err)
+			return fmt.Errorf("repro: training %s: %w", m.Name(), err)
 		}
 		// The paper compresses the models deployed on constrained hardware
 		// (IoT and edge) to FP16 before deployment.
@@ -86,6 +92,10 @@ func BuildUnivariate(opt UnivariateOptions) (*System, error) {
 			m.Quantize()
 		}
 		detectors[l] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	dep, err := hec.NewDeployment(opt.Topology, toDetectorArray(detectors), false)
@@ -95,20 +105,36 @@ func BuildUnivariate(opt UnivariateOptions) (*System, error) {
 	ext := features.UnivariateExtractor{}
 	dep.PolicyOverheadMs = policyOverheadMs(opt.Topology, ext.Dim(), opt.Policy.Hidden)
 
+	// Policy training (single-threaded REINFORCE over the policy split) and
+	// test-split precomputation touch disjoint state, so they overlap.
 	policySamples, _ := uniToSamples(ds.PolicyTrain)
-	policyPC, err := hec.Precompute(dep, ext, policySamples)
-	if err != nil {
-		return nil, fmt.Errorf("repro: precomputing policy split: %w", err)
-	}
-	pol, err := hec.TrainPolicy(policyPC, opt.Policy, derivedRng(opt.Seed, "policy-uni"))
-	if err != nil {
-		return nil, fmt.Errorf("repro: training policy: %w", err)
-	}
-
 	testSamples, testMeta := uniToSamples(ds.Test)
-	testPC, err := hec.Precompute(dep, ext, testSamples)
-	if err != nil {
-		return nil, fmt.Errorf("repro: precomputing test split: %w", err)
+	var (
+		pol    *policy.Network
+		testPC *hec.Precomputed
+		g      parallel.Group
+	)
+	g.Go(func() error {
+		policyPC, err := hec.Precompute(dep, ext, policySamples)
+		if err != nil {
+			return fmt.Errorf("repro: precomputing policy split: %w", err)
+		}
+		pol, err = hec.TrainPolicy(policyPC, opt.Policy, derivedRng(opt.Seed, "policy-uni"))
+		if err != nil {
+			return fmt.Errorf("repro: training policy: %w", err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		testPC, err = hec.Precompute(dep, ext, testSamples)
+		if err != nil {
+			return fmt.Errorf("repro: precomputing test split: %w", err)
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 
 	return &System{
