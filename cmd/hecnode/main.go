@@ -2,14 +2,22 @@
 // building block of a live distributed deployment: start an edge node and a
 // cloud node, then point examples/cluster (or your own client) at them.
 //
-// The node trains its layer's model locally at startup (models are small
-// and the datasets synthetic, so this replaces shipping weight files), then
-// serves keep-alive detection requests.
+// A node obtains its detector one of three ways:
+//
+//   - train it locally at startup (the default; use the same -seed across
+//     nodes so every node trains on identical data),
+//   - load a previously saved artifact with -load, or
+//   - fetch the weights from a running peer with -fetch (the model-shipping
+//     RPC) — so a fleet trains exactly once.
+//
+// Every node serves its own model snapshot to peers, and -save writes the
+// artifact to disk for later -load runs.
 //
 // Usage:
 //
-//	hecnode -layer edge -data univariate -addr 127.0.0.1:7101
-//	hecnode -layer cloud -data univariate -addr 127.0.0.1:7102
+//	hecnode -layer edge -data univariate -addr 127.0.0.1:7101 -save edge.model
+//	hecnode -layer edge -addr 127.0.0.1:7201 -load edge.model
+//	hecnode -layer edge -addr 127.0.0.1:7301 -fetch 127.0.0.1:7101
 package main
 
 import (
@@ -23,9 +31,11 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/autoencoder"
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/hec"
 	"repro/internal/seq2seq"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -34,34 +44,84 @@ func main() {
 		data  = flag.String("data", "univariate", "dataset: univariate | multivariate")
 		addr  = flag.String("addr", "127.0.0.1:0", "listen address")
 		seed  = flag.Int64("seed", 1, "training seed (use the same across nodes)")
+		save  = flag.String("save", "", "write the trained model artifact to this file")
+		load  = flag.String("load", "", "load the model artifact from this file instead of training")
+		fetch = flag.String("fetch", "", "fetch the model from a running peer node instead of training")
 	)
 	flag.Parse()
-	if err := run(*layer, *data, *addr, *seed); err != nil {
+	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch); err != nil {
 		fmt.Fprintln(os.Stderr, "hecnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(layerName, data, addr string, seed int64) error {
+func run(layerName, data, addr string, seed int64, save, load, fetch string) error {
 	l, err := parseLayer(layerName)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("training %s model for layer %v...\n", data, l)
-	det, recurrent, err := trainDetector(l, data, seed)
+	if load != "" && fetch != "" {
+		return fmt.Errorf("-load and -fetch are mutually exclusive")
+	}
+
+	var (
+		det       anomaly.Detector
+		recurrent bool
+		snap      *transport.ModelSnapshot
+	)
+	switch {
+	case load != "":
+		snap, err = cluster.LoadModel(load)
+		if err != nil {
+			return err
+		}
+		det, recurrent, err = cluster.RestoreDetector(snap)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s/%s model from %s (no training)\n", snap.Kind, snap.Tier, load)
+	case fetch != "":
+		cli, err := transport.Dial(fetch, 0)
+		if err != nil {
+			return err
+		}
+		snap, err = cli.FetchModel()
+		cli.Close()
+		if err != nil {
+			return fmt.Errorf("fetching model from %s: %w", fetch, err)
+		}
+		det, recurrent, err = cluster.RestoreDetector(snap)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fetched %s/%s model from peer %s (no training)\n", snap.Kind, snap.Tier, fetch)
+	default:
+		fmt.Printf("training %s model for layer %v...\n", data, l)
+		det, recurrent, err = trainDetector(l, data, seed)
+		if err != nil {
+			return err
+		}
+		snap, err = cluster.SnapshotDetector(det, l.String(), l != hec.LayerCloud)
+		if err != nil {
+			return err
+		}
+	}
+	if snap.Tier != l.String() {
+		fmt.Printf("note: serving a %s-tier model at layer %v\n", snap.Tier, l)
+	}
+	if save != "" {
+		if err := cluster.SaveModel(save, snap); err != nil {
+			return err
+		}
+		fmt.Printf("saved model artifact to %s\n", save)
+	}
+
+	execMs, err := hec.DefaultTopology().ExecTimeFunc(l, det, recurrent)
 	if err != nil {
 		return err
 	}
-	top := hec.DefaultTopology()
-	execMs := func(frames int) float64 {
-		t, err := top.ExecTimeMs(l, det, frames, recurrent)
-		if err != nil {
-			return 0
-		}
-		return t
-	}
 
-	srv, err := serveDetector(addr, det, execMs)
+	srv, err := serveDetector(addr, det, transport.ServerOptions{ExecMs: execMs, Model: snap})
 	if err != nil {
 		return err
 	}

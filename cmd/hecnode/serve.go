@@ -5,8 +5,8 @@ import (
 	"repro/internal/transport"
 )
 
-// serveDetector wraps transport.Serve; split out so main stays readable and
-// the wiring is unit-testable.
-func serveDetector(addr string, det anomaly.Detector, execMs func(int) float64) (*transport.Server, error) {
-	return transport.Serve(addr, det, execMs)
+// serveDetector wraps transport.ServeWith; split out so main stays readable
+// and the wiring is unit-testable.
+func serveDetector(addr string, det anomaly.Detector, opt transport.ServerOptions) (*transport.Server, error) {
+	return transport.ServeWith(addr, det, opt)
 }

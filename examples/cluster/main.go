@@ -1,36 +1,68 @@
-// Cluster: a live three-layer HEC deployment over real TCP with tc-style
-// latency injection, mirroring the paper's Raspberry Pi / Jetson / Devbox
-// testbed on one machine. The edge and cloud detectors run as in-process
-// TCP services with keep-alive connections; the "IoT device" runs its own
-// detector locally and escalates over the network when not confident (the
-// Successive scheme, live).
+// Cluster: the live HEC runtime over real TCP with tc-style latency
+// injection, mirroring the paper's Raspberry Pi / Jetson / Devbox testbed.
+// Unlike the precompute-and-replay simulator, everything here happens over
+// sockets: the edge and cloud detectors run as TCP services (in-process by
+// default, or external hecnode processes via -edge/-cloud), simulated IoT
+// devices stream windows concurrently through pooled pipelined connections,
+// and the trained REINFORCE policy routes each window live.
+//
+// The demo exercises all five paper schemes plus a deliberately bad
+// "pathological" policy (the trained policy's least-preferred layer) to
+// validate that the live metrics can tell a good policy from a bad one, and
+// finishes with a serialized-vs-pipelined transport comparison.
+//
+// Two-terminal usage against external nodes (same -seed everywhere):
+//
+//	hecnode -layer edge  -addr 127.0.0.1:7101   # terminal 1
+//	hecnode -layer cloud -addr 127.0.0.1:7102   # terminal 2
+//	go run ./examples/cluster -edge 127.0.0.1:7101 -cloud 127.0.0.1:7102
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/autoencoder"
+	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/features"
 	"repro/internal/hec"
+	"repro/internal/parallel"
 	"repro/internal/transport"
 )
 
 func main() {
-	if err := run(); err != nil {
+	var (
+		devices  = flag.Int("devices", 8, "concurrent simulated IoT devices")
+		rounds   = flag.Int("rounds", 2, "passes over the test split per device")
+		scale    = flag.Int("scale", 25, "divide the testbed's injected link delays by this factor")
+		poolSize = flag.Int("pool", 4, "pooled connections per remote layer")
+		seed     = flag.Int64("seed", 1, "training seed (must match external hecnodes)")
+		edgeAddr = flag.String("edge", "", "external edge hecnode address (default: in-process server)")
+		cloudAdr = flag.String("cloud", "", "external cloud hecnode address (default: in-process server)")
+	)
+	flag.Parse()
+	if err := run(*devices, *rounds, *scale, *poolSize, *seed, *edgeAddr, *cloudAdr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	// Train the three-autoencoder suite on a shared synthetic dataset.
-	cfg := dataset.PowerConfig{
-		TrainWeeks: 40, TestWeeks: 30, PolicyWeeks: 4,
-		AnomalyRate: 0.5, Noise: 0.04, Seed: 5,
+func run(devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr string) error {
+	if scale < 1 {
+		scale = 1
 	}
+	// The same dataset recipe hecnode trains with, so external nodes built
+	// from the same seed hold byte-identical models.
+	cfg := dataset.DefaultPowerConfig()
+	cfg.TrainWeeks = 40
+	cfg.TestWeeks = 26
+	cfg.PolicyWeeks = 30
+	cfg.Seed = seed
 	ds, err := dataset.GeneratePower(cfg)
 	if err != nil {
 		return err
@@ -39,121 +71,238 @@ func run() error {
 	for i, s := range ds.Train {
 		train[i] = s.Values
 	}
+
+	// Train the three-autoencoder suite concurrently (hecnode's recipe).
 	fmt.Println("training the AE suite (IoT, edge, cloud)...")
-	tiers := []autoencoder.Tier{autoencoder.TierIoT, autoencoder.TierEdge, autoencoder.TierCloud}
-	detectors := make([]*autoencoder.Model, len(tiers))
-	for i, tier := range tiers {
-		rng := rand.New(rand.NewSource(int64(10 + i)))
-		m, err := autoencoder.New(tier, dataset.ReadingsPerWeek, rng)
+	var detectors [hec.NumLayers]*autoencoder.Model
+	tiers := [hec.NumLayers]autoencoder.Tier{autoencoder.TierIoT, autoencoder.TierEdge, autoencoder.TierCloud}
+	err = parallel.ForEach(0, hec.NumLayers, func(l int) error {
+		rng := rand.New(rand.NewSource(seed + int64(l)))
+		m, err := autoencoder.New(tiers[l], dataset.ReadingsPerWeek, rng)
 		if err != nil {
 			return err
 		}
 		tc := autoencoder.DefaultTrainConfig()
-		tc.Epochs = 15
+		tc.Epochs = 25
 		if _, err := m.Fit(train, tc, rng); err != nil {
 			return err
 		}
-		detectors[i] = m
+		if hec.Layer(l) != hec.LayerCloud {
+			m.Quantize()
+		}
+		detectors[l] = m
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	detectors[0].Quantize() // FP16-compress the device-hosted model
-	detectors[1].Quantize()
 
-	// Start edge and cloud detection services on loopback TCP.
+	// Train the routing policy offline against the calibrated simulator —
+	// the paper's train-from-logged-detections step — then deploy it live.
 	top := hec.DefaultTopology()
-	serve := func(layer hec.Layer, det anomaly.Detector) (*transport.Server, error) {
-		return transport.Serve("127.0.0.1:0", det, func(frames int) float64 {
-			t, err := top.ExecTimeMs(layer, det, frames, false)
-			if err != nil {
-				return 0
-			}
-			return t
-		})
-	}
-	edgeSrv, err := serve(hec.LayerEdge, detectors[1])
+	dep, err := hec.NewDeployment(top, [hec.NumLayers]anomaly.Detector{detectors[0], detectors[1], detectors[2]}, false)
 	if err != nil {
 		return err
 	}
-	defer edgeSrv.Close()
-	cloudSrv, err := serve(hec.LayerCloud, detectors[2])
+	ext := features.UnivariateExtractor{}
+	pcfg := hec.DefaultPolicyConfig(5e-4) // the paper's univariate α
+	pcfg.Epochs = 15
+	dep.PolicyOverheadMs = float64(2*ext.Dim()*pcfg.Hidden+2*pcfg.Hidden*hec.NumLayers) /
+		top.Devices[hec.LayerIoT].DenseFlopsPerMs
+	fmt.Println("training the REINFORCE routing policy on the policy split...")
+	policySamples := make([]hec.Sample, len(ds.PolicyTrain))
+	for i, s := range ds.PolicyTrain {
+		policySamples[i] = hec.Sample{Frames: uniFrames(s.Values), Label: s.Label}
+	}
+	policyPC, err := hec.Precompute(dep, ext, policySamples)
 	if err != nil {
 		return err
 	}
-	defer cloudSrv.Close()
-	fmt.Printf("edge node on %s, cloud node on %s\n", edgeSrv.Addr(), cloudSrv.Addr())
+	pol, err := hec.TrainPolicy(policyPC, pcfg, rand.New(rand.NewSource(seed+100)))
+	if err != nil {
+		return err
+	}
 
-	// Connect with injected one-way delays scaled down 10× so the demo
-	// finishes quickly (12.5 ms per hop instead of the testbed's 125 ms).
-	const scale = 10
-	edgeCli, err := transport.Dial(edgeSrv.Addr(), 125*time.Millisecond/scale)
-	if err != nil {
-		return err
-	}
-	defer edgeCli.Close()
-	cloudCli, err := transport.Dial(cloudSrv.Addr(), 250*time.Millisecond/scale)
-	if err != nil {
-		return err
-	}
-	defer cloudCli.Close()
-
-	// Stream the test weeks through the live Successive scheme.
-	fmt.Printf("\n%-6s %-6s %-6s %-8s %-12s\n", "week", "det", "truth", "layer", "e2e (ms)")
-	var correct int
-	for i, s := range ds.Test {
-		frames := make([][]float64, len(s.Values))
-		for j, v := range s.Values {
-			frames[j] = []float64{v}
-		}
-		verdict, layer, e2e, err := successive(detectors[0], top, edgeCli, cloudCli, frames)
+	// Stand up the remote layers: in-process servers unless external
+	// hecnode addresses were given.
+	if edgeAddr == "" {
+		srv, err := serveLayer(hec.LayerEdge, detectors[hec.LayerEdge], top)
 		if err != nil {
-			return fmt.Errorf("week %d: %w", i, err)
+			return err
 		}
-		if verdict.Anomaly == s.Label {
-			correct++
-		}
-		fmt.Printf("%-6d %-6v %-6v %-8v %-12.1f\n", i, b2i(verdict.Anomaly), b2i(s.Label), layer, e2e)
+		defer srv.Close()
+		edgeAddr = srv.Addr()
 	}
-	fmt.Printf("\nlive-cluster accuracy: %d/%d (network delays scaled 1/%d)\n",
-		correct, len(ds.Test), scale)
+	if cloudAddr == "" {
+		srv, err := serveLayer(hec.LayerCloud, detectors[hec.LayerCloud], top)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		cloudAddr = srv.Addr()
+	}
+	fmt.Printf("edge node on %s, cloud node on %s\n", edgeAddr, cloudAddr)
+
+	// Model-shipping sanity check: fetch the edge model over the RPC,
+	// rebuild it locally, and confirm verdict parity on one window.
+	if err := verifyShippedModel(edgeAddr, detectors[hec.LayerEdge], ds.Test[0]); err != nil {
+		return err
+	}
+
+	// Pooled pipelined connections with injected one-way delays: 125 ms to
+	// the edge and 250 ms to the cloud (two hops), scaled down 1/scale so
+	// the demo finishes quickly.
+	edgePool, err := transport.DialPool(edgeAddr, 125*time.Millisecond/time.Duration(scale), poolSize)
+	if err != nil {
+		return err
+	}
+	defer edgePool.Close()
+	cloudPool, err := transport.DialPool(cloudAddr, 250*time.Millisecond/time.Duration(scale), poolSize)
+	if err != nil {
+		return err
+	}
+	defer cloudPool.Close()
+
+	localExec, err := top.ExecTimeFunc(hec.LayerIoT, detectors[hec.LayerIoT], false)
+	if err != nil {
+		return err
+	}
+	dev := &cluster.Device{
+		Local:            detectors[hec.LayerIoT],
+		LocalExecMs:      localExec,
+		Remotes:          [hec.NumLayers]cluster.Remote{nil, edgePool, cloudPool},
+		Policy:           pol,
+		Extractor:        ext,
+		PolicyOverheadMs: dep.PolicyOverheadMs,
+	}
+
+	testSamples := make([]hec.Sample, len(ds.Test))
+	for i, s := range ds.Test {
+		testSamples[i] = hec.Sample{Frames: uniFrames(s.Values), Label: s.Label}
+	}
+
+	fmt.Printf("\nlive run: %d devices × %d rounds × %d windows, link delays scaled 1/%d\n\n",
+		devices, rounds, len(testSamples), scale)
+	for _, scheme := range cluster.AllSchemes() {
+		st, err := cluster.Run(dev, testSamples, cluster.Config{
+			Scheme:  scheme,
+			Devices: devices,
+			Rounds:  rounds,
+			Alpha:   5e-4,
+		})
+		if err != nil {
+			return fmt.Errorf("running %v live: %w", scheme, err)
+		}
+		fmt.Println(st)
+	}
+	fmt.Println("\n(Pathological routes every window to the policy's least-preferred layer;")
+	fmt.Println(" healthy live metrics must show it losing to Adaptive on delay and reward.)")
+
+	return compareTransports(edgeAddr, testSamples[0].Frames, scale)
+}
+
+// serveLayer hosts one detector as an in-process TCP service with the
+// calibrated execution-time model and its model snapshot attached.
+func serveLayer(l hec.Layer, det *autoencoder.Model, top hec.Topology) (*transport.Server, error) {
+	snap, err := cluster.SnapshotDetector(det, l.String(), l != hec.LayerCloud)
+	if err != nil {
+		return nil, err
+	}
+	execMs, err := top.ExecTimeFunc(l, det, false)
+	if err != nil {
+		return nil, err
+	}
+	return transport.ServeWith("127.0.0.1:0", det, transport.ServerOptions{ExecMs: execMs, Model: snap})
+}
+
+// verifyShippedModel exercises the model-shipping RPC: fetch the remote
+// detector's weights, rebuild it locally, and check it agrees with the
+// original on a window.
+func verifyShippedModel(addr string, original anomaly.Detector, sample dataset.UniSample) error {
+	cli, err := transport.Dial(addr, 0)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	snap, err := cli.FetchModel()
+	if err != nil {
+		return fmt.Errorf("fetching model: %w", err)
+	}
+	restored, _, err := cluster.RestoreDetector(snap)
+	if err != nil {
+		return err
+	}
+	frames := uniFrames(sample.Values)
+	want, err := original.Detect(frames)
+	if err != nil {
+		return err
+	}
+	got, err := restored.Detect(frames)
+	if err != nil {
+		return err
+	}
+	if got.Anomaly != want.Anomaly || got.Confident != want.Confident {
+		return fmt.Errorf("model shipped over RPC disagrees with the original: got %+v want %+v", got, want)
+	}
+	fmt.Printf("model-shipping RPC verified: fetched %s/%s (%d params) reproduces the remote's verdicts\n",
+		snap.Kind, snap.Tier, restored.NumParams())
 	return nil
 }
 
-// successive runs the paper's escalation scheme against the live cluster:
-// local detection first, then the edge service, then the cloud service,
-// stopping at the first confident verdict.
-func successive(local *autoencoder.Model, top hec.Topology, edge, cloud *transport.Client, frames [][]float64) (anomaly.Verdict, hec.Layer, float64, error) {
-	start := time.Now()
-	v, err := local.Detect(frames)
+// compareTransports measures what request-ID pipelining buys: 8 workers
+// push windows through one shared connection, first with the legacy
+// serialized client (which holds an exclusive lock across the injected
+// delays), then with the pipelined one.
+func compareTransports(addr string, frames [][]float64, scale int) error {
+	const workers, perWorker = 8, 8
+	oneWay := 125 * time.Millisecond / time.Duration(scale)
+	throughput := func(serial bool) (float64, error) {
+		cli, err := transport.DialWith(addr, transport.DialOptions{OneWay: oneWay, Serial: serial})
+		if err != nil {
+			return 0, err
+		}
+		defer cli.Close()
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					if _, err := cli.Detect(frames); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return 0, err
+		}
+		return float64(workers*perWorker) / time.Since(start).Seconds(), nil
+	}
+
+	serialWPS, err := throughput(true)
 	if err != nil {
-		return anomaly.Verdict{}, 0, 0, err
+		return err
 	}
-	localExec, err := top.ExecTimeMs(hec.LayerIoT, local, len(frames), false)
+	pipelinedWPS, err := throughput(false)
 	if err != nil {
-		return anomaly.Verdict{}, 0, 0, err
+		return err
 	}
-	if v.Confident {
-		return v, hec.LayerIoT, localExec, nil
-	}
-	v, _, _, err = edge.Detect(frames)
-	if err != nil {
-		return anomaly.Verdict{}, 0, 0, err
-	}
-	if v.Confident {
-		return v, hec.LayerEdge, ms(start) + localExec, nil
-	}
-	v, _, _, err = cloud.Detect(frames)
-	if err != nil {
-		return anomaly.Verdict{}, 0, 0, err
-	}
-	return v, hec.LayerCloud, ms(start) + localExec, nil
+	fmt.Printf("\ntransport comparison (%d workers, one shared connection, %v one-way delay):\n", workers, oneWay)
+	fmt.Printf("  serialized: %7.1f windows/s\n", serialWPS)
+	fmt.Printf("  pipelined:  %7.1f windows/s (%.1f× faster)\n", pipelinedWPS, pipelinedWPS/serialWPS)
+	return nil
 }
 
-func ms(start time.Time) float64 {
-	return float64(time.Since(start)) / float64(time.Millisecond)
-}
-
-func b2i(b bool) int {
-	if b {
-		return 1
+func uniFrames(values []float64) [][]float64 {
+	frames := make([][]float64, len(values))
+	for i, v := range values {
+		frames[i] = []float64{v}
 	}
-	return 0
+	return frames
 }

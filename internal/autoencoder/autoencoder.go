@@ -228,6 +228,10 @@ func (m *Model) Detect(frames [][]float64) (anomaly.Verdict, error) {
 // NumParams implements anomaly.Detector.
 func (m *Model) NumParams() int { return m.Net.NumParams() }
 
+// InputDim returns the window width the model was built for — needed to
+// rebuild an identical architecture when restoring shipped weights.
+func (m *Model) InputDim() int { return m.inputDim }
+
 // FlopsPerWindow implements anomaly.Detector; for an autoencoder the
 // window length is fixed by the input width, so T is ignored.
 func (m *Model) FlopsPerWindow(int) int64 { return m.Net.FlopsDense() }

@@ -1,0 +1,289 @@
+// Package cluster is the live HEC runtime: it runs the paper's model-
+// selection schemes over real TCP connections instead of the precompute-
+// and-replay simulator. A Device plays the paper's IoT node — it hosts the
+// smallest detector locally, runs the trained REINFORCE policy on every
+// incoming window, and dispatches the window to the local detector or a
+// remote layer over keep-alive pipelined connections. A load generator
+// (loadgen.go) streams windows from many concurrent simulated devices and
+// aggregates live accuracy, delay percentiles, routing mix and throughput.
+//
+// Delay accounting is uniform across schemes: execution time is always the
+// calibrated simulated value (local topology model or the server's ExecMs),
+// network time is always measured wall clock minus server processing (so it
+// includes injected link delays), and a scheme's end-to-end delay is the sum
+// of both over every layer it tried. Simulated and wall-clock milliseconds
+// are never mixed within one term.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/features"
+	"repro/internal/hec"
+	"repro/internal/transport"
+)
+
+// Remote is a connection to one remote layer's detection service.
+// *transport.Client and *transport.Pool both satisfy it.
+type Remote interface {
+	Detect(frames [][]float64) (transport.DetectResult, error)
+}
+
+// PolicySource yields the action distribution π(·|z) for a context; it is
+// satisfied by *policy.Network and by test stubs.
+type PolicySource interface {
+	Probs(z []float64) ([]float64, error)
+}
+
+// Scheme selects how a Device routes windows.
+type Scheme int
+
+// The live schemes: the paper's five plus a deliberately bad policy used to
+// validate that the runtime's metrics can tell a good policy from a bad one.
+const (
+	// SchemeIoT always detects locally.
+	SchemeIoT Scheme = iota
+	// SchemeEdge always offloads to the edge service.
+	SchemeEdge
+	// SchemeCloud always offloads to the cloud service.
+	SchemeCloud
+	// SchemeSuccessive escalates until a confident verdict.
+	SchemeSuccessive
+	// SchemeAdaptive follows the trained policy's most-preferred layer.
+	SchemeAdaptive
+	// SchemePathological follows the trained policy's LEAST-preferred layer
+	// (always-cloud when no policy is set) — an intentionally bad router
+	// whose badness the live metrics must surface.
+	SchemePathological
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeIoT:
+		return "IoT Device"
+	case SchemeEdge:
+		return "Edge"
+	case SchemeCloud:
+		return "Cloud"
+	case SchemeSuccessive:
+		return "Successive"
+	case SchemeAdaptive:
+		return "Adaptive"
+	case SchemePathological:
+		return "Pathological"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AllSchemes lists every live scheme in display order.
+func AllSchemes() []Scheme {
+	return []Scheme{SchemeIoT, SchemeEdge, SchemeCloud, SchemeSuccessive, SchemeAdaptive, SchemePathological}
+}
+
+// ParseScheme maps a CLI name to a scheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "iot":
+		return SchemeIoT, nil
+	case "edge":
+		return SchemeEdge, nil
+	case "cloud":
+		return SchemeCloud, nil
+	case "successive":
+		return SchemeSuccessive, nil
+	case "adaptive":
+		return SchemeAdaptive, nil
+	case "pathological":
+		return SchemePathological, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown scheme %q (iot|edge|cloud|successive|adaptive|pathological)", name)
+	}
+}
+
+// Device is one live IoT node: a local detector plus connections to the
+// higher layers and the trained routing policy. A Device is stateless per
+// call and safe for concurrent use (detector and policy inference are
+// read-only; remotes are concurrency-safe).
+type Device struct {
+	// Local is the IoT-layer detector.
+	Local anomaly.Detector
+	// LocalExecMs simulates the local execution time (window length → ms);
+	// nil charges zero, which only makes sense in unit tests.
+	LocalExecMs func(frames int) float64
+	// Remotes holds connections per layer; Remotes[LayerIoT] is ignored and
+	// the entries for layers a scheme never touches may be nil.
+	Remotes [hec.NumLayers]Remote
+	// Policy drives the Adaptive and Pathological schemes.
+	Policy PolicySource
+	// Extractor maps a window to the policy context.
+	Extractor features.Extractor
+	// PolicyOverheadMs is the simulated cost of context extraction plus the
+	// policy forward pass on the IoT device, charged to policy-driven
+	// schemes.
+	PolicyOverheadMs float64
+}
+
+// Outcome is one live detection with its delay decomposition.
+type Outcome struct {
+	Verdict anomaly.Verdict
+	// Layer is the layer whose verdict was used.
+	Layer hec.Layer
+	// DelayMs is the end-to-end delay: ExecMs + NetMs (+ policy overhead for
+	// policy-driven schemes).
+	DelayMs float64
+	// ExecMs sums the simulated execution time of every layer tried.
+	ExecMs float64
+	// NetMs sums the measured network time (incl. injected link delay) of
+	// every offload performed.
+	NetMs float64
+}
+
+// detectAt runs one detection at a single layer, returning the verdict with
+// the layer's simulated execution time and measured network time.
+func (d *Device) detectAt(l hec.Layer, frames [][]float64) (anomaly.Verdict, float64, float64, error) {
+	if l == hec.LayerIoT {
+		if d.Local == nil {
+			return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: device has no local detector")
+		}
+		v, err := d.Local.Detect(frames)
+		if err != nil {
+			return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: local detection: %w", err)
+		}
+		var exec float64
+		if d.LocalExecMs != nil {
+			exec = d.LocalExecMs(len(frames))
+		}
+		return v, exec, 0, nil
+	}
+	if l < 0 || l >= hec.NumLayers {
+		return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: layer %d out of range", int(l))
+	}
+	r := d.Remotes[l]
+	if r == nil {
+		return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: no connection to layer %v", l)
+	}
+	res, err := r.Detect(frames)
+	if err != nil {
+		return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: detection at %v: %w", l, err)
+	}
+	return res.Verdict, res.ExecMs, res.NetMs, nil
+}
+
+// Fixed detects at exactly one layer (the paper's IoT/Edge/Cloud baselines).
+func (d *Device) Fixed(l hec.Layer, frames [][]float64) (Outcome, error) {
+	v, exec, netMs, err := d.detectAt(l, frames)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Verdict: v, Layer: l, DelayMs: exec + netMs, ExecMs: exec, NetMs: netMs}, nil
+}
+
+// Successive runs the paper's escalation baseline live: detect locally,
+// then escalate to the edge and then the cloud until a confident verdict.
+// The delay accumulates the (simulated) execution time of every layer tried
+// plus the (measured) network time of every offload — in particular the
+// cloud path still pays for the edge attempt.
+func (d *Device) Successive(frames [][]float64) (Outcome, error) {
+	var execSum, netSum float64
+	for l := hec.Layer(0); l < hec.NumLayers; l++ {
+		v, exec, netMs, err := d.detectAt(l, frames)
+		if err != nil {
+			return Outcome{}, err
+		}
+		execSum += exec
+		netSum += netMs
+		if v.Confident || l == hec.NumLayers-1 {
+			return Outcome{Verdict: v, Layer: l, DelayMs: execSum + netSum, ExecMs: execSum, NetMs: netSum}, nil
+		}
+	}
+	return Outcome{}, fmt.Errorf("cluster: successive scheme fell through")
+}
+
+// policyLayer runs the policy on the window's context and returns the
+// highest-probability layer (worst=false) or the lowest (worst=true).
+func (d *Device) policyLayer(frames [][]float64, worst bool) (hec.Layer, error) {
+	if d.Policy == nil || d.Extractor == nil {
+		return 0, fmt.Errorf("cluster: policy-driven scheme needs a policy and an extractor")
+	}
+	z, err := d.Extractor.Context(frames)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: extracting context: %w", err)
+	}
+	probs, err := d.Policy.Probs(z)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: policy forward: %w", err)
+	}
+	if len(probs) == 0 {
+		return 0, fmt.Errorf("cluster: policy returned no actions")
+	}
+	best := 0
+	for a, p := range probs {
+		if (!worst && p > probs[best]) || (worst && p < probs[best]) {
+			best = a
+		}
+	}
+	if best >= hec.NumLayers {
+		return 0, fmt.Errorf("cluster: policy chose action %d beyond %d layers", best, hec.NumLayers)
+	}
+	return hec.Layer(best), nil
+}
+
+// Adaptive is the paper's proposed scheme live: the trained policy picks the
+// layer, the device dispatches there, and the policy's own execution cost is
+// charged to the delay.
+func (d *Device) Adaptive(frames [][]float64) (Outcome, error) {
+	l, err := d.policyLayer(frames, false)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out, err := d.Fixed(l, frames)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.DelayMs += d.PolicyOverheadMs
+	return out, nil
+}
+
+// Pathological is the adversarial validation mode: it pays the same policy
+// overhead as Adaptive but routes every window to the policy's least-
+// preferred layer (or always the cloud without a policy). A healthy live
+// metrics pipeline must show it losing to Adaptive on delay and reward.
+func (d *Device) Pathological(frames [][]float64) (Outcome, error) {
+	l := hec.LayerCloud
+	if d.Policy != nil && d.Extractor != nil {
+		var err error
+		l, err = d.policyLayer(frames, true)
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
+	out, err := d.Fixed(l, frames)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out.DelayMs += d.PolicyOverheadMs
+	return out, nil
+}
+
+// Run dispatches one window under the given scheme.
+func (d *Device) Run(s Scheme, frames [][]float64) (Outcome, error) {
+	switch s {
+	case SchemeIoT:
+		return d.Fixed(hec.LayerIoT, frames)
+	case SchemeEdge:
+		return d.Fixed(hec.LayerEdge, frames)
+	case SchemeCloud:
+		return d.Fixed(hec.LayerCloud, frames)
+	case SchemeSuccessive:
+		return d.Successive(frames)
+	case SchemeAdaptive:
+		return d.Adaptive(frames)
+	case SchemePathological:
+		return d.Pathological(frames)
+	default:
+		return Outcome{}, fmt.Errorf("cluster: unknown scheme %d", int(s))
+	}
+}

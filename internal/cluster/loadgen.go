@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hec"
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/policy"
+)
+
+// Config parameterises one load-generation run.
+type Config struct {
+	// Scheme is the routing scheme every simulated device uses.
+	Scheme Scheme
+	// Devices is the number of concurrent simulated IoT devices (< 1 means
+	// 1). Each runs on its own goroutine and streams the full sample set.
+	Devices int
+	// Rounds is how many passes over the sample set each device makes
+	// (< 1 means 1).
+	Rounds int
+	// Alpha is the delay-cost weight of the per-window reward.
+	Alpha float64
+}
+
+// Stats aggregates a live run across all devices.
+type Stats struct {
+	Scheme  string
+	Devices int
+	// Windows is the total number of windows detected.
+	Windows int
+	// Confusion holds live detection counts against ground truth.
+	Confusion metrics.Confusion
+	// Delays aggregates per-window end-to-end delays; use Percentile for
+	// p50/p95/p99.
+	Delays metrics.DelayStats
+	// Reward accumulates the paper's per-window reward.
+	Reward metrics.RewardSum
+	// LayerCounts is how many windows each layer resolved.
+	LayerCounts [hec.NumLayers]int
+	// Elapsed is the wall-clock duration of the whole run.
+	Elapsed time.Duration
+}
+
+// Accuracy returns the live detection accuracy.
+func (st *Stats) Accuracy() float64 { return st.Confusion.Accuracy() }
+
+// Throughput returns windows per second over the whole run.
+func (st *Stats) Throughput() float64 {
+	if st.Elapsed <= 0 {
+		return 0
+	}
+	return float64(st.Windows) / st.Elapsed.Seconds()
+}
+
+// LayerMix returns the fraction of windows resolved per layer.
+func (st *Stats) LayerMix() [hec.NumLayers]float64 {
+	var mix [hec.NumLayers]float64
+	if st.Windows == 0 {
+		return mix
+	}
+	for l, n := range st.LayerCounts {
+		mix[l] = float64(n) / float64(st.Windows)
+	}
+	return mix
+}
+
+// String renders the one-line summary used by the examples.
+func (st *Stats) String() string {
+	mix := st.LayerMix()
+	return fmt.Sprintf("%-12s acc=%.3f p50=%6.1fms p95=%6.1fms p99=%6.1fms mix=[%.2f %.2f %.2f] %6.1f win/s reward=%.3f",
+		st.Scheme, st.Accuracy(),
+		st.Delays.Percentile(50), st.Delays.Percentile(95), st.Delays.Percentile(99),
+		mix[0], mix[1], mix[2], st.Throughput(), st.Reward.Mean())
+}
+
+// workerStats is one device goroutine's private accumulator, merged into the
+// run total afterwards so the hot loop takes no locks.
+type workerStats struct {
+	confusion   metrics.Confusion
+	delays      metrics.DelayStats
+	reward      metrics.RewardSum
+	layerCounts [hec.NumLayers]int
+	windows     int
+}
+
+// Run streams samples through dev from cfg.Devices concurrent simulated
+// devices and aggregates live metrics. Every device makes cfg.Rounds passes
+// over the full sample set, starting at a device-specific offset so the
+// devices hit different layers at any instant; a detection error aborts the
+// whole run.
+func Run(dev *Device, samples []hec.Sample, cfg Config) (*Stats, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("cluster: load generation needs a device")
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("cluster: load generation needs samples")
+	}
+	devices := cfg.Devices
+	if devices < 1 {
+		devices = 1
+	}
+	rounds := cfg.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	start := time.Now()
+	// parallel.Map with workers == n runs every device on its own goroutine.
+	perWorker, err := parallel.Map(devices, devices, func(w int) (*workerStats, error) {
+		ws := &workerStats{}
+		offset := w * len(samples) / devices
+		for r := 0; r < rounds; r++ {
+			for k := range samples {
+				s := samples[(offset+k)%len(samples)]
+				out, err := dev.Run(cfg.Scheme, s.Frames)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: device %d window %d: %w", w, k, err)
+				}
+				correct := out.Verdict.Anomaly == s.Label
+				ws.confusion.Add(out.Verdict.Anomaly, s.Label)
+				ws.delays.Add(out.DelayMs)
+				ws.reward.Add(policy.Reward(correct, cfg.Alpha, out.DelayMs))
+				ws.layerCounts[out.Layer]++
+				ws.windows++
+			}
+		}
+		return ws, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := &Stats{Scheme: cfg.Scheme.String(), Devices: devices, Elapsed: time.Since(start)}
+	for _, ws := range perWorker {
+		st.Confusion.Merge(ws.confusion)
+		st.Delays.Merge(&ws.delays)
+		st.Reward.Merge(ws.reward)
+		st.Windows += ws.windows
+		for l, n := range ws.layerCounts {
+			st.LayerCounts[l] += n
+		}
+	}
+	return st, nil
+}

@@ -110,6 +110,24 @@ func (t Topology) ExecTimeMs(layer Layer, d anomaly.Detector, T int, recurrent b
 	return float64(d.FlopsPerWindow(T))/tput + dev.OverheadMs, nil
 }
 
+// ExecTimeFunc returns a frames→milliseconds closure for serving detector d
+// at the given layer — the shape transport servers and live devices consume.
+// Errors map to 0 ms: the execution time is an advisory simulation input,
+// and the closure runs per request where there is no error channel; the
+// layer/detector combination is validated once here instead.
+func (t Topology) ExecTimeFunc(layer Layer, d anomaly.Detector, recurrent bool) (func(frames int) float64, error) {
+	if _, err := t.ExecTimeMs(layer, d, 1, recurrent); err != nil {
+		return nil, err
+	}
+	return func(frames int) float64 {
+		ms, err := t.ExecTimeMs(layer, d, frames, recurrent)
+		if err != nil {
+			return 0
+		}
+		return ms
+	}, nil
+}
+
 // RTTMs returns the round-trip network time from the IoT device to the
 // given layer for a payload of payloadKB (uplink payload, assumed small
 // downlink result). Layer IoT costs nothing.

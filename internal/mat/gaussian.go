@@ -15,6 +15,7 @@ type Gaussian struct {
 	Mean []float64
 
 	dim    int
+	cov    *Matrix
 	chol   *Cholesky
 	logDet float64
 	// logNorm caches −(d/2)·log(2π) − ½·log det Σ.
@@ -80,9 +81,12 @@ func NewGaussian(mean []float64, cov *Matrix) (*Gaussian, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fitting Gaussian: %w", err)
 	}
+	covCopy := New(d, d)
+	copy(covCopy.Data, cov.Data)
 	g := &Gaussian{
 		Mean:   CloneVec(mean),
 		dim:    d,
+		cov:    covCopy,
 		chol:   chol,
 		logDet: chol.LogDet(),
 	}
@@ -92,6 +96,14 @@ func NewGaussian(mean []float64, cov *Matrix) (*Gaussian, error) {
 
 // Dim returns the dimensionality of the distribution.
 func (g *Gaussian) Dim() int { return g.dim }
+
+// Covariance returns a copy of Σ, so a fitted distribution can be
+// serialised and rebuilt elsewhere with NewGaussian.
+func (g *Gaussian) Covariance() *Matrix {
+	out := New(g.dim, g.dim)
+	copy(out.Data, g.cov.Data)
+	return out
+}
 
 // LogPDF returns log N(x; µ, Σ) — the paper's logPD anomaly score (more
 // negative means more anomalous).

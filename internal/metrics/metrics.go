@@ -33,6 +33,15 @@ func (c *Confusion) Add(predicted, actual bool) {
 // Total returns the number of recorded samples.
 func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
 
+// Merge folds another confusion matrix into this one — used by concurrent
+// evaluators that accumulate per-worker matrices and combine them at the end.
+func (c *Confusion) Merge(o Confusion) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.TN += o.TN
+	c.FN += o.FN
+}
+
 // Accuracy returns (TP+TN)/total, or 0 with no samples.
 func (c *Confusion) Accuracy() float64 {
 	t := c.Total()
@@ -89,6 +98,12 @@ func (d *DelayStats) Add(ms float64) {
 
 // Count returns the number of observations.
 func (d *DelayStats) Count() int { return len(d.values) }
+
+// Merge folds another accumulator's observations into this one.
+func (d *DelayStats) Merge(o *DelayStats) {
+	d.values = append(d.values, o.values...)
+	d.sum += o.sum
+}
 
 // Mean returns the average delay, or 0 with no observations.
 func (d *DelayStats) Mean() float64 {
@@ -183,6 +198,12 @@ func (r *RewardSum) Add(reward float64) {
 
 // Sum returns the summed reward (the Table II form).
 func (r *RewardSum) Sum() float64 { return r.sum }
+
+// Merge folds another accumulator into this one.
+func (r *RewardSum) Merge(o RewardSum) {
+	r.sum += o.sum
+	r.n += o.n
+}
 
 // Mean returns the per-sample mean reward, or 0 with no samples.
 func (r *RewardSum) Mean() float64 {

@@ -1,8 +1,13 @@
 // Package transport implements the testbed's communication layer: length-
 // prefixed gob messages over keep-alive TCP connections (the paper keeps
 // sockets open "to reduce the overhead of connection establishment"), a
-// detection-service server for hosting a layer's model, and client-side
-// one-way-delay injection emulating the paper's tc-configured WAN links.
+// detection-service server for hosting a layer's model, client-side one-way
+// delay injection emulating the paper's tc-configured WAN links, request-ID
+// multiplexing so one connection pipelines many in-flight requests, a
+// client connection pool, and a model-shipping RPC so a node that trained a
+// detector can hand its weights to peers.
+//
+// The wire format is documented in docs/PROTOCOL.md.
 package transport
 
 import (
@@ -13,26 +18,80 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/anomaly"
+	"repro/internal/nn"
 )
 
 // maxMessageBytes bounds a single message; a 128×18 float64 window is
-// ~18 KB, so 16 MB leaves ample room while preventing hostile allocations.
+// ~18 KB and the largest model snapshot (AE-Cloud) ~4.3 MB, so 16 MB leaves
+// ample room while preventing hostile allocations.
 const maxMessageBytes = 16 << 20
 
-// DetectRequest asks a layer to judge one window.
+// maxInFlightPerConn bounds the requests a server handles concurrently on
+// one connection. When a peer pipelines faster than the detector drains,
+// the read loop stops pulling frames off the socket and TCP flow control
+// pushes back on the sender, instead of goroutines and decoded windows
+// piling up without bound.
+const maxInFlightPerConn = 64
+
+// Op selects what a request asks the server to do.
+type Op uint8
+
+// The protocol's operations.
+const (
+	// OpDetect asks the server to judge one window.
+	OpDetect Op = iota
+	// OpFetchModel asks the server for its detector's shipped weights.
+	OpFetchModel
+)
+
+// DetectRequest is the client→server message. ID is echoed back in the
+// response so one connection can pipeline concurrent requests.
 type DetectRequest struct {
+	ID     uint64
+	Op     Op
 	Frames [][]float64
 }
 
-// DetectResponse carries the verdict plus the server's simulated execution
-// time; Err is non-empty when detection failed server-side.
+// DetectResponse is the server→client message. Err is non-empty when the
+// operation failed server-side; the connection stays usable.
 type DetectResponse struct {
+	ID      uint64
 	Verdict anomaly.Verdict
-	ExecMs  float64
-	Err     string
+	// ExecMs is the simulated execution time from the server's calibrated
+	// compute model (wall-clock when the server has no model).
+	ExecMs float64
+	// ProcMs is the server's actual wall-clock handling time, so clients can
+	// separate network time from compute time.
+	ProcMs float64
+	Err    string
+	// Model is set only for OpFetchModel responses.
+	Model *ModelSnapshot
+}
+
+// ModelSnapshot is a detector shipped over the wire: the nn.Snapshot of its
+// network plus the fitted anomaly scorer and enough metadata to rebuild the
+// identical architecture (builders stay the single source of truth for model
+// structure; the snapshot carries values only).
+type ModelSnapshot struct {
+	// Kind is the model family: "autoencoder" or "seq2seq".
+	Kind string
+	// Tier is the HEC tier the model was built for: "IoT", "Edge" or "Cloud".
+	Tier string
+	// InputDim is the autoencoder window width; seq2seq models ignore it.
+	InputDim int
+	// Quantized records whether the weights were FP16-compressed before
+	// shipping (the values already carry the rounding).
+	Quantized bool
+	// Weights are the network parameters.
+	Weights *nn.Snapshot
+	// Scorer is the fitted logPD scorer state.
+	Scorer *anomaly.ScorerState
+	// Conf is the confidence rule the detector judges with.
+	Conf anomaly.Confidence
 }
 
 // writeMsg encodes v with gob behind a 4-byte big-endian length prefix.
@@ -100,23 +159,40 @@ func (br *byteReader) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// ServerOptions configures ServeWith.
+type ServerOptions struct {
+	// ExecMs, if non-nil, supplies the simulated execution time reported per
+	// request (window length → ms); nil reports wall-clock time.
+	ExecMs func(frames int) float64
+	// Model, if non-nil, is served to peers on OpFetchModel.
+	Model *ModelSnapshot
+}
+
 // Server hosts one layer's detector over TCP. Each accepted connection is
-// served by a dedicated goroutine that loops over requests until the peer
-// closes (keep-alive semantics).
+// served by a dedicated read loop; every request is handled on its own
+// goroutine and its response written as soon as it is ready (guarded by a
+// per-connection write lock), so a slow detection does not block requests
+// pipelined behind it.
 type Server struct {
 	detector anomaly.Detector
 	execMs   func(frames int) float64
+	model    *ModelSnapshot
 
 	lis    net.Listener
 	wg     sync.WaitGroup
 	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
 	closed bool
 }
 
 // Serve starts a detection server on addr (e.g. "127.0.0.1:0"). execMs, if
-// non-nil, supplies the simulated execution time reported per request
-// (window length → ms); nil reports wall-clock time.
+// non-nil, supplies the simulated execution time reported per request.
 func Serve(addr string, det anomaly.Detector, execMs func(frames int) float64) (*Server, error) {
+	return ServeWith(addr, det, ServerOptions{ExecMs: execMs})
+}
+
+// ServeWith is Serve with full options.
+func ServeWith(addr string, det anomaly.Detector, opt ServerOptions) (*Server, error) {
 	if det == nil {
 		return nil, errors.New("transport: Serve requires a detector")
 	}
@@ -124,7 +200,7 @@ func Serve(addr string, det anomaly.Detector, execMs func(frames int) float64) (
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{detector: det, execMs: execMs, lis: lis}
+	s := &Server{detector: det, execMs: opt.ExecMs, model: opt.Model, lis: lis, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -145,6 +221,14 @@ func (s *Server) acceptLoop() {
 			_ = tcp.SetKeepAlive(true)
 			_ = tcp.SetKeepAlivePeriod(30 * time.Second)
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -154,33 +238,70 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	var (
+		wmu      sync.Mutex // serialises response writes on this connection
+		inflight sync.WaitGroup
+		slots    = make(chan struct{}, maxInFlightPerConn)
+	)
+	defer func() {
+		inflight.Wait()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	for {
-		var req DetectRequest
-		if err := readMsg(conn, &req); err != nil {
+		req := new(DetectRequest)
+		if err := readMsg(conn, req); err != nil {
 			return // peer closed or protocol error; drop the connection
 		}
-		resp := s.handle(&req)
-		if err := writeMsg(conn, resp); err != nil {
-			return
-		}
+		slots <- struct{}{} // backpressure: stop reading when saturated
+		inflight.Add(1)
+		go func() {
+			defer func() {
+				<-slots
+				inflight.Done()
+			}()
+			resp := s.handle(req)
+			wmu.Lock()
+			err := writeMsg(conn, resp)
+			wmu.Unlock()
+			if err != nil {
+				// The peer is gone; the read loop will notice shortly.
+				_ = err
+			}
+		}()
 	}
 }
 
 func (s *Server) handle(req *DetectRequest) *DetectResponse {
-	start := time.Now()
-	v, err := s.detector.Detect(req.Frames)
-	if err != nil {
-		return &DetectResponse{Err: err.Error()}
+	switch req.Op {
+	case OpDetect:
+		start := time.Now()
+		v, err := s.detector.Detect(req.Frames)
+		proc := float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			return &DetectResponse{ID: req.ID, ProcMs: proc, Err: err.Error()}
+		}
+		exec := proc
+		if s.execMs != nil {
+			exec = s.execMs(len(req.Frames))
+		}
+		return &DetectResponse{ID: req.ID, Verdict: v, ExecMs: exec, ProcMs: proc}
+	case OpFetchModel:
+		if s.model == nil {
+			return &DetectResponse{ID: req.ID, Err: "no model snapshot available on this node"}
+		}
+		return &DetectResponse{ID: req.ID, Model: s.model}
+	default:
+		return &DetectResponse{ID: req.ID, Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}
-	exec := float64(time.Since(start)) / float64(time.Millisecond)
-	if s.execMs != nil {
-		exec = s.execMs(len(req.Frames))
-	}
-	return &DetectResponse{Verdict: v, ExecMs: exec}
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting, drops every open connection (in-flight handlers
+// finish; their responses fail to send), and waits for all connection
+// goroutines to exit. Pending client calls are woken with an error rather
+// than left hanging on a keep-alive socket.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -188,27 +309,69 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
 	s.mu.Unlock()
 	err := s.lis.Close()
 	s.wg.Wait()
 	return err
 }
 
-// Client is a keep-alive connection to a detection server with optional
-// injected one-way delay, emulating the tc-shaped WAN of the testbed.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	// oneWay is the injected delay applied before the request is sent and
-	// again before the response is considered received.
-	oneWay time.Duration
+// DetectResult is one remote detection as seen by the client, with network
+// and compute time separated so callers can account delay consistently:
+// NetMs is measured live (including injected link delays), ExecMs comes from
+// the server's calibrated compute model.
+type DetectResult struct {
+	Verdict anomaly.Verdict
+	// ExecMs is the server-reported (simulated) execution time.
+	ExecMs float64
+	// NetMs is the measured wall-clock time minus the server's processing
+	// time: transport plus injected link delay.
+	NetMs float64
+	// E2EMs = NetMs + ExecMs, the model-consistent end-to-end delay.
+	E2EMs float64
 }
 
-// Dial connects to a detection server. oneWay is the emulated per-direction
-// link delay (0 disables emulation).
+// DialOptions configures DialWith.
+type DialOptions struct {
+	// OneWay is the emulated per-direction link delay (0 disables emulation).
+	OneWay time.Duration
+	// Serial restores the legacy one-request-at-a-time behaviour, holding an
+	// exclusive lock across the injected delays. It exists so benchmarks and
+	// demos can quantify what pipelining buys; new code should leave it off.
+	Serial bool
+}
+
+// Client is a keep-alive connection to a detection server. Requests carry
+// IDs and responses are matched back to their callers by a dedicated read
+// loop, so any number of goroutines can have detections in flight on the
+// same connection; injected link delays are slept per-call without holding
+// any lock shared with other callers.
+type Client struct {
+	conn   net.Conn
+	oneWay time.Duration
+	serial bool
+
+	serialMu sync.Mutex // held across a whole call in Serial mode only
+	wmu      sync.Mutex // serialises request writes
+
+	mu      sync.Mutex // guards pending, nextID, err
+	pending map[uint64]chan *DetectResponse
+	nextID  uint64
+	err     error
+}
+
+// Dial connects to a detection server with pipelining enabled. oneWay is
+// the emulated per-direction link delay (0 disables emulation).
 func Dial(addr string, oneWay time.Duration) (*Client, error) {
-	if oneWay < 0 {
-		return nil, fmt.Errorf("transport: negative one-way delay %v", oneWay)
+	return DialWith(addr, DialOptions{OneWay: oneWay})
+}
+
+// DialWith connects to a detection server with full options.
+func DialWith(addr string, opt DialOptions) (*Client, error) {
+	if opt.OneWay < 0 {
+		return nil, fmt.Errorf("transport: negative one-way delay %v", opt.OneWay)
 	}
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
@@ -217,39 +380,197 @@ func Dial(addr string, oneWay time.Duration) (*Client, error) {
 	if tcp, ok := conn.(*net.TCPConn); ok {
 		_ = tcp.SetKeepAlive(true)
 	}
-	return &Client{conn: conn, oneWay: oneWay}, nil
+	c := &Client{
+		conn:    conn,
+		oneWay:  opt.OneWay,
+		serial:  opt.Serial,
+		pending: make(map[uint64]chan *DetectResponse),
+	}
+	go c.readLoop()
+	return c, nil
 }
 
-// Detect sends one window for remote detection and returns the verdict,
-// the server-reported execution time, and the measured end-to-end delay in
-// milliseconds (including injected link delays).
-func (c *Client) Detect(frames [][]float64) (anomaly.Verdict, float64, float64, error) {
+// readLoop routes responses to their waiting callers by request ID. On any
+// read error it fails every pending call and exits; the client is unusable
+// afterwards.
+func (c *Client) readLoop() {
+	for {
+		resp := new(DetectResponse)
+		if err := readMsg(c.conn, resp); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp // buffered; never blocks the loop
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// do sends one request and waits for its response.
+func (c *Client) do(req *DetectRequest) (*DetectResponse, error) {
+	ch := make(chan *DetectResponse, 1)
+	c.mu.Lock()
+	if c.pending == nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: connection down: %w", err)
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeMsg(c.conn, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		if c.pending != nil {
+			delete(c.pending, req.ID)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: connection lost mid-request: %w", err)
+	}
+	return resp, nil
+}
+
+// Detect sends one window for remote detection. The injected one-way delay
+// is slept before the request is sent and again after the response arrives,
+// emulating link propagation per call — concurrent callers overlap their
+// delays instead of queueing behind each other.
+func (c *Client) Detect(frames [][]float64) (DetectResult, error) {
+	if c.serial {
+		c.serialMu.Lock()
+		defer c.serialMu.Unlock()
+	}
 	start := time.Now()
 	if c.oneWay > 0 {
 		time.Sleep(c.oneWay)
 	}
-	if err := writeMsg(c.conn, &DetectRequest{Frames: frames}); err != nil {
-		return anomaly.Verdict{}, 0, 0, err
-	}
-	var resp DetectResponse
-	if err := readMsg(c.conn, &resp); err != nil {
-		return anomaly.Verdict{}, 0, 0, fmt.Errorf("transport: reading response: %w", err)
+	resp, err := c.do(&DetectRequest{Op: OpDetect, Frames: frames})
+	if err != nil {
+		return DetectResult{}, err
 	}
 	if c.oneWay > 0 {
 		time.Sleep(c.oneWay)
 	}
 	if resp.Err != "" {
-		return anomaly.Verdict{}, 0, 0, fmt.Errorf("transport: remote detection: %s", resp.Err)
+		return DetectResult{}, fmt.Errorf("transport: remote detection: %s", resp.Err)
 	}
-	e2e := float64(time.Since(start)) / float64(time.Millisecond)
-	return resp.Verdict, resp.ExecMs, e2e, nil
+	wall := float64(time.Since(start)) / float64(time.Millisecond)
+	netMs := wall - resp.ProcMs
+	if netMs < 0 {
+		netMs = 0
+	}
+	return DetectResult{
+		Verdict: resp.Verdict,
+		ExecMs:  resp.ExecMs,
+		NetMs:   netMs,
+		E2EMs:   netMs + resp.ExecMs,
+	}, nil
 }
 
-// Close closes the connection.
+// FetchModel retrieves the server's shipped detector snapshot (the model-
+// shipping RPC): a node that trained once serves its weights, and peers
+// rebuild the detector locally instead of retraining.
+func (c *Client) FetchModel() (*ModelSnapshot, error) {
+	resp, err := c.do(&DetectRequest{Op: OpFetchModel})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("transport: fetching model: %s", resp.Err)
+	}
+	if resp.Model == nil {
+		return nil, errors.New("transport: peer returned an empty model snapshot")
+	}
+	return resp.Model, nil
+}
+
+// Close closes the connection; pending calls fail.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.conn.Close()
+}
+
+// Pool is a fixed-size pool of pipelined clients to one server. Requests
+// round-robin across connections, spreading gob encode/decode and TCP
+// head-of-line blocking over several sockets while each socket still
+// pipelines its own in-flight requests.
+type Pool struct {
+	clients []*Client
+	next    atomic.Uint64
+}
+
+// DialPool opens size connections to addr, each with the same injected
+// one-way delay.
+func DialPool(addr string, oneWay time.Duration, size int) (*Pool, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("transport: pool size %d < 1", size)
+	}
+	p := &Pool{clients: make([]*Client, size)}
+	for i := range p.clients {
+		c, err := Dial(addr, oneWay)
+		if err != nil {
+			for _, open := range p.clients[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		p.clients[i] = c
+	}
+	return p, nil
+}
+
+// Size returns the number of pooled connections.
+func (p *Pool) Size() int { return len(p.clients) }
+
+func (p *Pool) pick() *Client {
+	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
+}
+
+// Detect runs one detection on the next pooled connection.
+func (p *Pool) Detect(frames [][]float64) (DetectResult, error) {
+	return p.pick().Detect(frames)
+}
+
+// FetchModel fetches the server's model snapshot over one pooled connection.
+func (p *Pool) FetchModel() (*ModelSnapshot, error) {
+	return p.pick().FetchModel()
+}
+
+// Close closes every pooled connection, returning the first error.
+func (p *Pool) Close() error {
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
