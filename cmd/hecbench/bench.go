@@ -1,0 +1,266 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/autoencoder"
+	"repro/internal/hec"
+	"repro/internal/rnn"
+)
+
+// The -bench-json mode: a machine-readable perf snapshot of the batched
+// tensor engine against the per-sample baseline, emitted as JSON so the
+// repository's perf trajectory (BENCH_N.json files) can be populated and
+// diffed by tooling instead of eyeballed from test logs.
+
+// benchSchema identifies the snapshot layout for downstream tooling.
+const benchSchema = "hec-bench/1"
+
+// BenchResult is one seq-vs-batched measurement.
+type BenchResult struct {
+	// Name identifies the workload (e.g. "autoencoder-train-epoch").
+	Name string `json:"name"`
+	// Detail describes the workload's shape (model, data sizes).
+	Detail string `json:"detail"`
+	// BatchSize is the batch the vectorised variant ran with.
+	BatchSize int `json:"batch_size"`
+	// SequentialMs / BatchedMs are best-of-reps wall-clock times.
+	SequentialMs float64 `json:"sequential_ms"`
+	BatchedMs    float64 `json:"batched_ms"`
+	// Speedup is SequentialMs / BatchedMs.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchSnapshot is the file layout of -bench-json.
+type BenchSnapshot struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Reps       int           `json:"reps"`
+	Results    []BenchResult `json:"results"`
+}
+
+// timeIt returns the best-of-reps wall-clock milliseconds of fn.
+func timeIt(reps int, fn func() error) (float64, error) {
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if ms := float64(time.Since(start)) / float64(time.Millisecond); ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+// benchWeeks synthesises smooth normal weeks for throughput measurement
+// (detection quality is irrelevant here; the arithmetic is identical).
+func benchWeeks(n, dim int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, n)
+	for w := range out {
+		week := make([]float64, dim)
+		phase := rng.Float64() * 2 * math.Pi
+		for i := range week {
+			week[i] = math.Sin(2*math.Pi*float64(i)/float64(dim)+phase) + 0.05*rng.NormFloat64()
+		}
+		out[w] = week
+	}
+	return out
+}
+
+// benchTrain measures one AE-Cloud training epoch, per-sample vs batched.
+func benchTrain(reps, weeks, batch int) (BenchResult, error) {
+	const dim = 672
+	data := benchWeeks(weeks, dim, rand.New(rand.NewSource(11)))
+	run := func(bs int) func() error {
+		return func() error {
+			m, err := autoencoder.New(autoencoder.TierCloud, dim, rand.New(rand.NewSource(12)))
+			if err != nil {
+				return err
+			}
+			cfg := autoencoder.DefaultTrainConfig()
+			cfg.Epochs = 1
+			cfg.BatchSize = bs
+			_, err = m.Fit(data, cfg, rand.New(rand.NewSource(13)))
+			return err
+		}
+	}
+	seq, err := timeIt(reps, run(1))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	bat, err := timeIt(reps, run(batch))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:         "autoencoder-train-epoch",
+		Detail:       fmt.Sprintf("AE-Cloud %d-wide, %d weeks, 1 epoch (incl. scorer fit)", dim, weeks),
+		BatchSize:    batch,
+		SequentialMs: seq,
+		BatchedMs:    bat,
+		Speedup:      seq / bat,
+	}, nil
+}
+
+// benchPrecompute measures hec.Precompute over a trained three-tier
+// deployment, per-sample vs batched detection, both on one worker so the
+// ratio isolates vectorisation from parallelism.
+func benchPrecompute(reps, samples, batch int) (BenchResult, error) {
+	const dim = 672
+	rng := rand.New(rand.NewSource(21))
+	train := benchWeeks(24, dim, rng)
+	cfg := autoencoder.DefaultTrainConfig()
+	cfg.Epochs = 2 // throughput benchmark; detection quality is irrelevant
+	cfg.BatchSize = 32
+	var dets [hec.NumLayers]anomaly.Detector
+	for l, tier := range []autoencoder.Tier{autoencoder.TierIoT, autoencoder.TierEdge, autoencoder.TierCloud} {
+		m, err := autoencoder.New(tier, dim, rng)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		if _, err := m.Fit(train, cfg, rng); err != nil {
+			return BenchResult{}, err
+		}
+		dets[l] = m
+	}
+	dep, err := hec.NewDeployment(hec.DefaultTopology(), dets, false)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	set := make([]hec.Sample, samples)
+	for i := range set {
+		week := train[i%len(train)]
+		frames := make([][]float64, dim)
+		for j, v := range week {
+			frames[j] = []float64{v}
+		}
+		set[i] = hec.Sample{Frames: frames, Label: false}
+	}
+	run := func(bs int) func() error {
+		return func() error {
+			_, err := hec.PrecomputeWith(dep, nil, set, hec.PrecomputeOptions{Workers: 1, BatchSize: bs})
+			return err
+		}
+	}
+	seq, err := timeIt(reps, run(1))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	bat, err := timeIt(reps, run(batch))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:         "hec-precompute",
+		Detail:       fmt.Sprintf("3 AE tiers × %d weekly samples, 1 worker", samples),
+		BatchSize:    batch,
+		SequentialMs: seq,
+		BatchedMs:    bat,
+		Speedup:      seq / bat,
+	}, nil
+}
+
+// benchReconstruct measures the multivariate engine: batched lockstep LSTM
+// reconstruction vs per-window autoregression.
+func benchReconstruct(reps, windows int) (BenchResult, error) {
+	const (
+		T = 128
+		D = 18
+	)
+	rng := rand.New(rand.NewSource(31))
+	m, err := rnn.NewSeq2Seq(rnn.Config{InSize: D, HiddenSize: 16}, rng)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	batch := make([][][]float64, windows)
+	for w := range batch {
+		batch[w] = make([][]float64, T)
+		for t := range batch[w] {
+			f := make([]float64, D)
+			for j := range f {
+				f[j] = rng.NormFloat64()
+			}
+			batch[w][t] = f
+		}
+	}
+	seq, err := timeIt(reps, func() error {
+		for _, w := range batch {
+			if _, err := m.Reconstruct(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	bat, err := timeIt(reps, func() error {
+		_, err := m.ReconstructBatch(batch)
+		return err
+	})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:         "seq2seq-reconstruct",
+		Detail:       fmt.Sprintf("LSTM-seq2seq-IoT, %d windows of %d×%d", windows, T, D),
+		BatchSize:    windows,
+		SequentialMs: seq,
+		BatchedMs:    bat,
+		Speedup:      seq / bat,
+	}, nil
+}
+
+// runBenchJSON produces the perf snapshot and writes it to path ("-" for
+// stdout). fast shrinks the workloads for CI smoke runs.
+func runBenchJSON(path string, fast bool) error {
+	reps, weeks, samples, windows := 3, 104, 156, 16
+	if fast {
+		reps, weeks, samples, windows = 1, 32, 48, 8
+	}
+	const batch = 32
+	snap := BenchSnapshot{
+		Schema:     benchSchema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Reps:       reps,
+	}
+	fmt.Fprintf(os.Stderr, "hecbench: measuring batched engine (fast=%v, reps=%d)...\n", fast, reps)
+	for _, bench := range []func() (BenchResult, error){
+		func() (BenchResult, error) { return benchTrain(reps, weeks, batch) },
+		func() (BenchResult, error) { return benchPrecompute(reps, samples, batch) },
+		func() (BenchResult, error) { return benchReconstruct(reps, windows) },
+	} {
+		res, err := bench()
+		if err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "  %-24s seq %8.1fms  batched %8.1fms  %5.2fx\n",
+			res.Name, res.SequentialMs, res.BatchedMs, res.Speedup)
+		snap.Results = append(snap.Results, res)
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "hecbench: wrote %s\n", path)
+	return nil
+}

@@ -10,6 +10,8 @@
 //	hecbench -fast                            # reduced scale (CI-friendly)
 //	hecbench -fast -reps 8                    # Monte-Carlo: 8 seeds in
 //	                                          # parallel, Table II mean±std
+//	hecbench -bench-json BENCH.json           # machine-readable perf snapshot
+//	                                          # of the batched tensor engine
 package main
 
 import (
@@ -31,8 +33,17 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override the build seed (0 keeps defaults)")
 		reps    = flag.Int("reps", 1, "Monte-Carlo repetitions over seeds seed+1..seed+reps (aggregated Table II)")
 		workers = flag.Int("workers", 0, "concurrent Monte-Carlo builds (<1 = a small CPU-based default; each build is itself internally parallel)")
+		bench   = flag.String("bench-json", "", "write a seq-vs-batched perf snapshot (BENCH_N.json style) to this path ('-' = stdout) and exit")
 	)
 	flag.Parse()
+
+	if *bench != "" {
+		if err := runBenchJSON(*bench, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "hecbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	kinds, err := parseKinds(*data)
 	if err != nil {

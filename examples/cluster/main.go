@@ -45,14 +45,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "training seed (must match external hecnodes)")
 		edgeAddr = flag.String("edge", "", "external edge hecnode address (default: in-process server)")
 		cloudAdr = flag.String("cloud", "", "external cloud hecnode address (default: in-process server)")
+		batch    = flag.Int("batch", 0, "windows shipped per request (<2 = per-window dispatch)")
 	)
 	flag.Parse()
-	if err := run(*devices, *rounds, *scale, *poolSize, *seed, *edgeAddr, *cloudAdr); err != nil {
+	if err := run(*devices, *rounds, *scale, *poolSize, *seed, *edgeAddr, *cloudAdr, *batch); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr string) error {
+func run(devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr string, batch int) error {
 	if scale < 1 {
 		scale = 1
 	}
@@ -181,14 +182,19 @@ func run(devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr s
 		testSamples[i] = hec.Sample{Frames: uniFrames(s.Values), Label: s.Label}
 	}
 
-	fmt.Printf("\nlive run: %d devices × %d rounds × %d windows, link delays scaled 1/%d\n\n",
+	fmt.Printf("\nlive run: %d devices × %d rounds × %d windows, link delays scaled 1/%d\n",
 		devices, rounds, len(testSamples), scale)
+	if batch > 1 {
+		fmt.Printf("batch mode: %d windows per request\n", batch)
+	}
+	fmt.Println()
 	for _, scheme := range cluster.AllSchemes() {
 		st, err := cluster.Run(dev, testSamples, cluster.Config{
-			Scheme:  scheme,
-			Devices: devices,
-			Rounds:  rounds,
-			Alpha:   5e-4,
+			Scheme:    scheme,
+			Devices:   devices,
+			Rounds:    rounds,
+			Alpha:     5e-4,
+			BatchSize: batch,
 		})
 		if err != nil {
 			return fmt.Errorf("running %v live: %w", scheme, err)

@@ -101,6 +101,20 @@ func (s *Scorer) ScoreAll(errVecs [][]float64) ([]float64, error) {
 	return out, nil
 }
 
+// ScoreMatrix scores a whole error matrix at once — one reconstruction-error
+// vector per row — through the vectorised Gaussian kernel. The scores are
+// bit-identical to per-row Score calls but reuse the factor-solve scratch
+// across the matrix, which removes the per-point allocations that dominate
+// low-dimensional scoring. Safe for concurrent use: the scorer itself is
+// read-only after fitting.
+func (s *Scorer) ScoreMatrix(errs *mat.Matrix) ([]float64, error) {
+	scores, err := s.gauss.LogPDFRows(errs)
+	if err != nil {
+		return nil, fmt.Errorf("anomaly: scoring matrix: %w", err)
+	}
+	return scores, nil
+}
+
 // Dim returns the error-vector dimensionality the scorer was fitted on.
 func (s *Scorer) Dim() int { return s.gauss.Dim() }
 
@@ -147,4 +161,33 @@ type Detector interface {
 	// FlopsPerWindow estimates inference cost for a T-frame window, which
 	// the HEC compute model turns into execution time.
 	FlopsPerWindow(T int) int64
+}
+
+// BatchDetector is implemented by detectors that judge many windows in one
+// vectorised pass through the batched tensor engine. DetectBatch must return
+// one verdict per window, each equal (within floating-point noise; the
+// repository's engines are bit-identical) to Detect on that window, and must
+// be safe for concurrent use like Detect.
+type BatchDetector interface {
+	Detector
+	DetectBatch(windows [][][]float64) ([]Verdict, error)
+}
+
+// DetectAll judges every window, in one DetectBatch call when the detector
+// supports batching and by sequential Detect calls otherwise. It is the
+// batching seam for callers that hold a plain Detector (precompute engine,
+// transport servers, cluster devices).
+func DetectAll(d Detector, windows [][][]float64) ([]Verdict, error) {
+	if bd, ok := d.(BatchDetector); ok {
+		return bd.DetectBatch(windows)
+	}
+	out := make([]Verdict, len(windows))
+	for i, w := range windows {
+		v, err := d.Detect(w)
+		if err != nil {
+			return nil, fmt.Errorf("anomaly: detecting window %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
 }

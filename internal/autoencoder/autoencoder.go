@@ -14,8 +14,10 @@ package autoencoder
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/anomaly"
+	"repro/internal/mat"
 	"repro/internal/nn"
 )
 
@@ -112,6 +114,13 @@ type TrainConfig struct {
 	WeightDecay float64
 	// ScorerReg is the ridge added to the error Gaussian's covariance.
 	ScorerReg float64
+	// BatchSize groups samples per optimiser step through the batched tensor
+	// engine (minibatch SGD with batch-averaged gradients). Values < 2 keep
+	// the paper's per-sample stochastic updates — the default, and with the
+	// small weekly training sets the right quality/step tradeoff. Every
+	// batch size runs the same vectorised code path; at 1 the training
+	// trajectory is bit-identical to the legacy per-sample loop.
+	BatchSize int
 }
 
 // DefaultTrainConfig returns the settings used by the benchmark harness.
@@ -122,12 +131,28 @@ func DefaultTrainConfig() TrainConfig {
 // Fit trains the autoencoder on normal weeks (each a slice of inputDim
 // standardised readings), then fits the logPD scorer and threshold on the
 // training reconstruction errors. It returns the final mean training loss.
+//
+// Training runs through the batched tensor engine: cfg.BatchSize samples
+// are stacked into a matrix, pushed through one matrix-matrix forward and
+// backward pass, and applied as one batch-averaged optimiser step. The
+// default batch size of 1 reproduces the paper's per-sample stochastic
+// updates bit for bit (the batch kernels accumulate in per-sample order);
+// larger batches trade update count for a multi-x throughput win.
 func (m *Model) Fit(train [][]float64, cfg TrainConfig, rng *rand.Rand) (float64, error) {
 	if len(train) == 0 {
 		return 0, fmt.Errorf("autoencoder: empty training set")
 	}
 	if cfg.Epochs <= 0 {
 		return 0, fmt.Errorf("autoencoder: epochs must be positive")
+	}
+	bs := cfg.BatchSize
+	if bs < 1 {
+		bs = 1
+	}
+	for i, x := range train {
+		if len(x) != m.inputDim {
+			return 0, fmt.Errorf("%w: training week %d has %d readings, want %d", mat.ErrShape, i, len(x), m.inputDim)
+		}
 	}
 	// Adam converges markedly faster than RMSProp on the deeper AE stacks
 	// at these widths; the paper's AE training details live in its ref [3],
@@ -140,39 +165,68 @@ func (m *Model) Fit(train [][]float64, cfg TrainConfig, rng *rand.Rand) (float64
 	for i := range order {
 		order[i] = i
 	}
-	var last float64
+	var (
+		last float64
+		xb   = new(mat.Matrix)
+		grad = new(mat.Matrix)
+	)
 	for e := 0; e < cfg.Epochs; e++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var total float64
-		for _, idx := range order {
-			x := train[idx]
-			out, err := m.Net.Forward(x, true)
+		for start := 0; start < len(order); start += bs {
+			end := start + bs
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			xb.Reshape(len(batch), m.inputDim)
+			for k, idx := range batch {
+				copy(xb.Data[k*m.inputDim:(k+1)*m.inputDim], train[idx])
+			}
+			out, err := m.Net.ForwardBatch(xb, true)
 			if err != nil {
 				return 0, fmt.Errorf("training %s: %w", m.ModelName, err)
 			}
-			loss, grad, err := nn.MSELoss(out, x)
+			loss, err := nn.MSELossBatch(out, xb, grad)
 			if err != nil {
 				return 0, err
 			}
-			if _, err := m.Net.Backward(grad); err != nil {
+			if _, err := m.Net.BackwardBatch(grad); err != nil {
 				return 0, err
 			}
 			if err := opt.Step(m.Net.Params()); err != nil {
 				return 0, err
 			}
-			total += loss
+			total += loss * float64(len(batch))
 		}
 		last = total / float64(len(train))
 	}
 
-	// Fit the scorer on per-point reconstruction errors of the training set.
-	var errs [][]float64
-	for _, x := range train {
-		e, err := m.pointErrors(x)
+	// Fit the scorer on per-point reconstruction errors of the training set,
+	// reconstructing through the vectorised inference path in fitBatch-sized
+	// chunks (point order matches the sequential loop exactly).
+	const fitBatch = 32
+	errs := make([][]float64, 0, len(train)*m.inputDim)
+	var ws nn.BatchScratch
+	for start := 0; start < len(train); start += fitBatch {
+		end := start + fitBatch
+		if end > len(train) {
+			end = len(train)
+		}
+		xb.Reshape(end-start, m.inputDim)
+		for k, x := range train[start:end] {
+			copy(xb.Data[k*m.inputDim:(k+1)*m.inputDim], x)
+		}
+		rec, err := m.Net.InferBatch(&ws, xb)
 		if err != nil {
 			return 0, err
 		}
-		errs = append(errs, e...)
+		for k := 0; k < xb.Rows; k++ {
+			rrow, xrow := rec.Row(k), xb.Row(k)
+			for i := range xrow {
+				errs = append(errs, []float64{rrow[i] - xrow[i]})
+			}
+		}
 	}
 	scorer, err := anomaly.FitScorer(errs, cfg.ScorerReg)
 	if err != nil {
@@ -223,6 +277,64 @@ func (m *Model) Detect(frames [][]float64) (anomaly.Verdict, error) {
 		return anomaly.Verdict{}, err
 	}
 	return m.Scorer.Judge(scores, m.Conf), nil
+}
+
+// detectScratch is the per-call workspace of DetectBatch, leased from a
+// pool so concurrent batch detections stay allocation-free in steady state
+// without sharing any mutable state.
+type detectScratch struct {
+	xb mat.Matrix
+	ws nn.BatchScratch
+}
+
+var detectScratchPool = sync.Pool{New: func() any { return new(detectScratch) }}
+
+// DetectBatch implements anomaly.BatchDetector: it judges every window in
+// one vectorised pass — all windows reconstructed through one batched
+// forward, all B·T point errors scored through one matrix scoring call.
+// Verdicts are bit-identical to per-window Detect calls; like Detect it is
+// safe for concurrent use (each call leases its own scratch).
+func (m *Model) DetectBatch(windows [][][]float64) ([]anomaly.Verdict, error) {
+	if m.Scorer == nil {
+		return nil, fmt.Errorf("autoencoder: %s not fitted", m.ModelName)
+	}
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	scratch := detectScratchPool.Get().(*detectScratch)
+	defer detectScratchPool.Put(scratch)
+	xb := scratch.xb.Reshape(len(windows), m.inputDim)
+	for w, frames := range windows {
+		if len(frames) != m.inputDim {
+			return nil, fmt.Errorf("autoencoder: %s expects %d frames, got %d (window %d)", m.ModelName, m.inputDim, len(frames), w)
+		}
+		row := xb.Row(w)
+		for i, f := range frames {
+			if len(f) != 1 {
+				return nil, fmt.Errorf("autoencoder: univariate frame has %d dims (window %d)", len(f), w)
+			}
+			row[i] = f[0]
+		}
+	}
+	rec, err := m.Net.InferBatch(&scratch.ws, xb)
+	if err != nil {
+		return nil, err
+	}
+	// Point errors overwrite the input batch in place (it is no longer
+	// needed), viewed as (B·T)×1 for one scoring pass.
+	for i, v := range rec.Data {
+		xb.Data[i] = v - xb.Data[i]
+	}
+	pointErrs := &mat.Matrix{Rows: len(xb.Data), Cols: 1, Data: xb.Data}
+	scores, err := m.Scorer.ScoreMatrix(pointErrs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]anomaly.Verdict, len(windows))
+	for w := range out {
+		out[w] = m.Scorer.Judge(scores[w*m.inputDim:(w+1)*m.inputDim], m.Conf)
+	}
+	return out, nil
 }
 
 // NumParams implements anomaly.Detector.

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/hec"
+	"repro/internal/transport"
+)
+
+// Batch dispatch: the live form of the batched tensor engine. A device
+// accumulates N windows and ships them as one OpDetectBatch request, so the
+// wire round trip, codec work and injected link delay are paid once per
+// batch instead of once per window — the batch-window trick inference
+// servers use to trade a little queueing latency for throughput.
+//
+// Delay accounting keeps the runtime's uniform rule (simulated execution
+// time + measured network time) with one refinement: a batch's measured
+// network time is shared evenly across its windows, because that is what
+// each window actually cost the link once it rode along with the batch.
+
+// BatchRemote is a Remote that can ship many windows per request.
+// *transport.Client and *transport.Pool both satisfy it.
+type BatchRemote interface {
+	Remote
+	DetectBatch(windows [][][]float64) (transport.BatchResult, error)
+}
+
+// detectBatchAt judges a batch of windows at one layer, returning per-window
+// verdicts and simulated execution times plus the total measured network
+// time of the dispatch (0 for local detection). Remotes that implement
+// BatchRemote get one request for the whole batch; plain Remotes fall back
+// to per-window calls (their network times sum).
+func (d *Device) detectBatchAt(l hec.Layer, windows [][][]float64) ([]anomaly.Verdict, []float64, float64, error) {
+	if l == hec.LayerIoT {
+		if d.Local == nil {
+			return nil, nil, 0, fmt.Errorf("cluster: device has no local detector")
+		}
+		vs, err := anomaly.DetectAll(d.Local, windows)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("cluster: local batch detection: %w", err)
+		}
+		execEach := make([]float64, len(windows))
+		if d.LocalExecMs != nil {
+			for i, w := range windows {
+				execEach[i] = d.LocalExecMs(len(w))
+			}
+		}
+		return vs, execEach, 0, nil
+	}
+	if l < 0 || l >= hec.NumLayers {
+		return nil, nil, 0, fmt.Errorf("cluster: layer %d out of range", int(l))
+	}
+	r := d.Remotes[l]
+	if r == nil {
+		return nil, nil, 0, fmt.Errorf("cluster: no connection to layer %v", l)
+	}
+	if br, ok := r.(BatchRemote); ok {
+		res, err := br.DetectBatch(windows)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("cluster: batch detection at %v: %w", l, err)
+		}
+		return res.Verdicts, res.ExecMsEach, res.NetMs, nil
+	}
+	vs := make([]anomaly.Verdict, len(windows))
+	execEach := make([]float64, len(windows))
+	var netMs float64
+	for i, w := range windows {
+		res, err := r.Detect(w)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("cluster: detection at %v: %w", l, err)
+		}
+		vs[i] = res.Verdict
+		execEach[i] = res.ExecMs
+		netMs += res.NetMs
+	}
+	return vs, execEach, netMs, nil
+}
+
+// fixedBatch dispatches the whole batch to one layer and builds per-window
+// outcomes with the batch's network time shared evenly.
+func (d *Device) fixedBatch(l hec.Layer, windows [][][]float64) ([]Outcome, error) {
+	vs, execEach, netMs, err := d.detectBatchAt(l, windows)
+	if err != nil {
+		return nil, err
+	}
+	netShare := netMs / float64(len(windows))
+	outs := make([]Outcome, len(windows))
+	for i, v := range vs {
+		outs[i] = Outcome{
+			Verdict: v,
+			Layer:   l,
+			DelayMs: execEach[i] + netShare,
+			ExecMs:  execEach[i],
+			NetMs:   netShare,
+		}
+	}
+	return outs, nil
+}
+
+// successiveBatch escalates the batch stage by stage: every window is judged
+// locally, the unconfident ones ride one batch to the edge, the still-
+// unconfident remainder one batch to the cloud. Each window accumulates the
+// execution time of every layer it tried plus its share of every batch it
+// rode — the staged form of the per-window Successive rule.
+func (d *Device) successiveBatch(windows [][][]float64) ([]Outcome, error) {
+	outs := make([]Outcome, len(windows))
+	active := make([]int, len(windows))
+	for i := range active {
+		active[i] = i
+	}
+	for l := hec.Layer(0); l < hec.NumLayers && len(active) > 0; l++ {
+		sub := make([][][]float64, len(active))
+		for k, i := range active {
+			sub[k] = windows[i]
+		}
+		vs, execEach, netMs, err := d.detectBatchAt(l, sub)
+		if err != nil {
+			return nil, err
+		}
+		netShare := netMs / float64(len(active))
+		next := active[:0]
+		for k, i := range active {
+			outs[i].ExecMs += execEach[k]
+			outs[i].NetMs += netShare
+			if vs[k].Confident || l == hec.NumLayers-1 {
+				outs[i].Verdict = vs[k]
+				outs[i].Layer = l
+				outs[i].DelayMs = outs[i].ExecMs + outs[i].NetMs
+			} else {
+				next = append(next, i)
+			}
+		}
+		active = next
+	}
+	return outs, nil
+}
+
+// policyBatch routes each window to its policy-chosen layer (most preferred
+// for Adaptive, least for Pathological), groups the windows per layer, and
+// ships one batch per group. Policy overhead is charged per window, as in
+// the per-window schemes.
+func (d *Device) policyBatch(windows [][][]float64, worst bool) ([]Outcome, error) {
+	var groups [hec.NumLayers][]int
+	for i, w := range windows {
+		l, err := d.policyLayer(w, worst)
+		if err != nil {
+			return nil, err
+		}
+		groups[l] = append(groups[l], i)
+	}
+	outs := make([]Outcome, len(windows))
+	for l, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sub := make([][][]float64, len(idxs))
+		for k, i := range idxs {
+			sub[k] = windows[i]
+		}
+		got, err := d.fixedBatch(hec.Layer(l), sub)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range idxs {
+			outs[i] = got[k]
+			outs[i].DelayMs += d.PolicyOverheadMs
+		}
+	}
+	return outs, nil
+}
+
+// RunBatch dispatches a batch of windows under the given scheme, returning
+// one outcome per window in input order. It is the batched counterpart of
+// Run: same verdicts, same layer choices, with network time amortised over
+// each dispatched batch.
+func (d *Device) RunBatch(s Scheme, windows [][][]float64) ([]Outcome, error) {
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	switch s {
+	case SchemeIoT:
+		return d.fixedBatch(hec.LayerIoT, windows)
+	case SchemeEdge:
+		return d.fixedBatch(hec.LayerEdge, windows)
+	case SchemeCloud:
+		return d.fixedBatch(hec.LayerCloud, windows)
+	case SchemeSuccessive:
+		return d.successiveBatch(windows)
+	case SchemeAdaptive:
+		return d.policyBatch(windows, false)
+	case SchemePathological:
+		if d.Policy == nil || d.Extractor == nil {
+			// Mirror Pathological's no-policy fallback: always-cloud, still
+			// paying the policy overhead it is benchmarked against.
+			outs, err := d.fixedBatch(hec.LayerCloud, windows)
+			if err != nil {
+				return nil, err
+			}
+			for i := range outs {
+				outs[i].DelayMs += d.PolicyOverheadMs
+			}
+			return outs, nil
+		}
+		return d.policyBatch(windows, true)
+	default:
+		return nil, fmt.Errorf("cluster: unknown scheme %d", int(s))
+	}
+}

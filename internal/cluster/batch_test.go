@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/hec"
+	"repro/internal/transport"
+)
+
+// stubBatchRemote implements BatchRemote with scripted per-window results
+// and counts batch requests.
+type stubBatchRemote struct {
+	stubRemote
+	batchCalls atomic.Int64
+}
+
+func (r *stubBatchRemote) DetectBatch(windows [][][]float64) (transport.BatchResult, error) {
+	r.batchCalls.Add(1)
+	if r.err != nil {
+		return transport.BatchResult{}, r.err
+	}
+	res := transport.BatchResult{NetMs: r.netMs}
+	for range windows {
+		res.Verdicts = append(res.Verdicts, r.verdict)
+		res.ExecMsEach = append(res.ExecMsEach, r.execMs)
+	}
+	return res, nil
+}
+
+func windowsN(n int) [][][]float64 {
+	out := make([][][]float64, n)
+	for i := range out {
+		out[i] = window
+	}
+	return out
+}
+
+// TestRunBatchFixedSharesNetworkTime pins the batch delay rule: one request,
+// its network time split evenly across the windows.
+func TestRunBatchFixedSharesNetworkTime(t *testing.T) {
+	edge := &stubBatchRemote{stubRemote: stubRemote{verdict: confident(true), execMs: 5, netMs: 12}}
+	dev := testDevice(confident(false), nil, nil)
+	dev.Remotes[hec.LayerEdge] = edge
+	outs, err := dev.RunBatch(SchemeEdge, windowsN(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.batchCalls.Load() != 1 {
+		t.Fatalf("%d batch requests, want 1", edge.batchCalls.Load())
+	}
+	for i, out := range outs {
+		if out.Layer != hec.LayerEdge || !out.Verdict.Anomaly {
+			t.Fatalf("window %d routed wrong: %+v", i, out)
+		}
+		if out.ExecMs != 5 || math.Abs(out.NetMs-3) > 1e-12 || math.Abs(out.DelayMs-8) > 1e-12 {
+			t.Fatalf("window %d delay accounting: %+v (want exec 5, net 3, delay 8)", i, out)
+		}
+	}
+}
+
+// TestRunBatchSuccessiveEscalatesOnlyUnconfident checks staged escalation:
+// the whole batch is judged locally, only the unconfident windows ride to
+// the edge, and a confident edge verdict stops the escalation.
+func TestRunBatchSuccessiveEscalatesOnlyUnconfident(t *testing.T) {
+	edge := &stubBatchRemote{stubRemote: stubRemote{verdict: confident(true), execMs: 5, netMs: 6}}
+	cloud := &stubBatchRemote{stubRemote: stubRemote{verdict: confident(true), execMs: 1, netMs: 40}}
+	dev := testDevice(unconfident(), nil, nil)
+	dev.Remotes[hec.LayerEdge] = edge
+	dev.Remotes[hec.LayerCloud] = cloud
+	outs, err := dev.RunBatch(SchemeSuccessive, windowsN(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.batchCalls.Load() != 1 || cloud.batchCalls.Load() != 0 {
+		t.Fatalf("edge %d / cloud %d batch calls, want 1 / 0", edge.batchCalls.Load(), cloud.batchCalls.Load())
+	}
+	for i, out := range outs {
+		if out.Layer != hec.LayerEdge {
+			t.Fatalf("window %d stopped at %v, want edge", i, out.Layer)
+		}
+		// Local exec (3) + edge exec (5), edge net 6 shared across 3 windows.
+		if math.Abs(out.ExecMs-8) > 1e-12 || math.Abs(out.NetMs-2) > 1e-12 {
+			t.Fatalf("window %d accounting: %+v", i, out)
+		}
+	}
+
+	// A confident local verdict must never leave the device.
+	devLocal := testDevice(confident(false), nil, nil)
+	devLocal.Remotes[hec.LayerEdge] = edge
+	outs, err = devLocal.RunBatch(SchemeSuccessive, windowsN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.batchCalls.Load() != 1 {
+		t.Fatal("confident local batch still escalated")
+	}
+	for _, out := range outs {
+		if out.Layer != hec.LayerIoT || out.NetMs != 0 {
+			t.Fatalf("local outcome %+v", out)
+		}
+	}
+}
+
+// TestRunBatchAdaptiveGroupsByPolicyLayer checks policy grouping: with a
+// policy preferring the edge, all windows go as one edge batch, each paying
+// the policy overhead.
+func TestRunBatchAdaptiveGroupsByPolicyLayer(t *testing.T) {
+	edge := &stubBatchRemote{stubRemote: stubRemote{verdict: confident(true), execMs: 5, netMs: 8}}
+	cloud := &stubBatchRemote{stubRemote: stubRemote{verdict: confident(true), execMs: 1, netMs: 40}}
+	dev := testDevice(confident(false), nil, nil)
+	dev.Remotes[hec.LayerEdge] = edge
+	dev.Remotes[hec.LayerCloud] = cloud
+	outs, err := dev.RunBatch(SchemeAdaptive, windowsN(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.batchCalls.Load() != 1 || cloud.batchCalls.Load() != 0 {
+		t.Fatalf("edge %d / cloud %d calls", edge.batchCalls.Load(), cloud.batchCalls.Load())
+	}
+	for i, out := range outs {
+		if out.Layer != hec.LayerEdge {
+			t.Fatalf("window %d at %v", i, out.Layer)
+		}
+		// exec 5 + net 8/4 + policy overhead 0.5.
+		if math.Abs(out.DelayMs-7.5) > 1e-12 {
+			t.Fatalf("window %d delay %g, want 7.5", i, out.DelayMs)
+		}
+	}
+
+	// Pathological routes to the least preferred layer (IoT at prob 0.1).
+	outs, err = dev.RunBatch(SchemePathological, windowsN(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Layer != hec.LayerIoT {
+			t.Fatalf("pathological window %d at %v, want IoT", i, out.Layer)
+		}
+	}
+}
+
+// TestRunBatchFallsBackToPerWindowRemote checks a plain Remote (no batch
+// RPC) still works under RunBatch, with summed network time shared back.
+func TestRunBatchFallsBackToPerWindowRemote(t *testing.T) {
+	edge := &stubRemote{verdict: confident(true), execMs: 5, netMs: 7}
+	dev := testDevice(confident(false), edge, nil)
+	outs, err := dev.RunBatch(SchemeEdge, windowsN(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.calls.Load() != 3 {
+		t.Fatalf("%d per-window calls, want 3", edge.calls.Load())
+	}
+	for i, out := range outs {
+		// Per-window net 7 summed to 21, shared back as 7 each.
+		if math.Abs(out.NetMs-7) > 1e-12 || math.Abs(out.DelayMs-12) > 1e-12 {
+			t.Fatalf("window %d accounting %+v", i, out)
+		}
+	}
+	if outs, err := dev.RunBatch(SchemeEdge, nil); err != nil || outs != nil {
+		t.Fatalf("empty batch: (%v, %v)", outs, err)
+	}
+}
+
+// TestLoadGeneratorBatchMode runs the load generator in batch mode against
+// stub remotes and cross-checks the aggregate verdict counts against
+// per-window mode (delay stats differ by design: batches share net time).
+func TestLoadGeneratorBatchMode(t *testing.T) {
+	mkDev := func() *Device {
+		edge := &stubBatchRemote{stubRemote: stubRemote{verdict: confident(true), execMs: 5, netMs: 8}}
+		dev := testDevice(confident(false), nil, nil)
+		dev.Remotes[hec.LayerEdge] = edge
+		return dev
+	}
+	samples := make([]hec.Sample, 30)
+	for i := range samples {
+		samples[i] = hec.Sample{Frames: window, Label: i%2 == 0}
+	}
+	batched, err := Run(mkDev(), samples, Config{Scheme: SchemeEdge, Devices: 3, Alpha: 5e-4, BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWindow, err := Run(mkDev(), samples, Config{Scheme: SchemeEdge, Devices: 3, Alpha: 5e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Windows != perWindow.Windows || batched.Windows != 90 {
+		t.Fatalf("windows: batched %d vs per-window %d, want 90", batched.Windows, perWindow.Windows)
+	}
+	if batched.Confusion != perWindow.Confusion {
+		t.Fatalf("confusion diverges: %+v vs %+v", batched.Confusion, perWindow.Confusion)
+	}
+	if batched.LayerCounts != perWindow.LayerCounts {
+		t.Fatalf("layer mix diverges: %v vs %v", batched.LayerCounts, perWindow.LayerCounts)
+	}
+	// Batching must not inflate delay: shared net time can only shrink it.
+	if batched.Delays.Mean() > perWindow.Delays.Mean()+1e-9 {
+		t.Fatalf("batched mean delay %g exceeds per-window %g", batched.Delays.Mean(), perWindow.Delays.Mean())
+	}
+}
+
+// TestDeviceBatchOverLiveTransport runs RunBatch against a real detection
+// server over loopback TCP, checking the live wire path end to end and the
+// verdict equivalence with per-window dispatch.
+func TestDeviceBatchOverLiveTransport(t *testing.T) {
+	det := stubDetector{verdict: anomaly.Verdict{Anomaly: true, Confident: true, MinLogPD: -9}}
+	srv, err := transport.Serve("127.0.0.1:0", det, func(frames int) float64 { return float64(frames) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := transport.Dial(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+
+	dev := testDevice(unconfident(), nil, nil)
+	dev.Remotes[hec.LayerEdge] = cli
+	outs, err := dev.RunBatch(SchemeEdge, windowsN(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := dev.Run(SchemeEdge, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, out := range outs {
+		if out.Verdict != single.Verdict {
+			t.Fatalf("window %d verdict %+v vs per-window %+v", i, out.Verdict, single.Verdict)
+		}
+		if out.ExecMs != float64(len(window)) {
+			t.Fatalf("window %d exec %g, want %d", i, out.ExecMs, len(window))
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package hec
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/autoencoder"
+)
+
+// aeDeployment builds a deployment whose three layers host real (small)
+// autoencoder detectors — which implement anomaly.BatchDetector — so the
+// batched precompute engine exercises the true vectorised path end to end.
+func aeDeployment(t *testing.T) (*Deployment, []Sample) {
+	t.Helper()
+	const dim = 84
+	rng := rand.New(rand.NewSource(21))
+	train := make([][]float64, 20)
+	for w := range train {
+		week := make([]float64, dim)
+		phase := rng.Float64() * 2 * math.Pi
+		for i := range week {
+			week[i] = math.Sin(2*math.Pi*float64(i)/float64(dim)+phase) + 0.05*rng.NormFloat64()
+		}
+		train[w] = week
+	}
+	cfg := autoencoder.DefaultTrainConfig()
+	cfg.Epochs = 6
+	var dets [NumLayers]anomaly.Detector
+	for l := 0; l < NumLayers; l++ {
+		m, err := autoencoder.New(autoencoder.TierEdge, dim, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Fit(train, cfg, rng); err != nil {
+			t.Fatal(err)
+		}
+		dets[l] = m
+	}
+	dep, err := NewDeployment(DefaultTopology(), dets, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples := make([]Sample, 70)
+	for i := range samples {
+		week := append([]float64(nil), train[i%len(train)]...)
+		label := i%3 == 0
+		if label {
+			for j := 10; j < 18; j++ {
+				week[j] += 5
+			}
+		}
+		frames := make([][]float64, dim)
+		for j, v := range week {
+			frames[j] = []float64{v}
+		}
+		samples[i] = Sample{Frames: frames, Label: label}
+	}
+	return dep, samples
+}
+
+// TestPrecomputeBatchedMatchesPerSample is the precompute equivalence
+// contract of the batched engine: for real batch detectors, any batch size
+// and any worker count must reproduce the per-sample outcomes and contexts
+// exactly (the batch kernels are bit-identical, so reflect.DeepEqual — far
+// inside the 1e-9 budget — must hold).
+func TestPrecomputeBatchedMatchesPerSample(t *testing.T) {
+	dep, samples := aeDeployment(t)
+	perSample, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anomalies := 0
+	for i := range samples {
+		if perSample.Outcomes[i][LayerIoT].Verdict.Anomaly {
+			anomalies++
+		}
+	}
+	if anomalies == 0 || anomalies == len(samples) {
+		t.Fatalf("degenerate fixture: %d/%d anomalies", anomalies, len(samples))
+	}
+	for _, opt := range []PrecomputeOptions{
+		{Workers: 1, BatchSize: 32},
+		{Workers: 4, BatchSize: 32},
+		{Workers: 0, BatchSize: 0}, // the defaults: batched, all CPUs
+		{Workers: 3, BatchSize: 7}, // ragged chunks
+	} {
+		batched, err := PrecomputeWith(dep, constExtractor{}, samples, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(perSample.Outcomes, batched.Outcomes) {
+			t.Fatalf("opt %+v: batched outcomes diverge from per-sample", opt)
+		}
+		if !reflect.DeepEqual(perSample.Contexts, batched.Contexts) {
+			t.Fatalf("opt %+v: batched contexts diverge from per-sample", opt)
+		}
+		if perSample.RTTs != batched.RTTs {
+			t.Fatalf("opt %+v: cached RTTs diverge", opt)
+		}
+	}
+}
+
+// TestPrecomputeBatchSizeOneMatchesLegacyPath guards the fallback seam: for
+// detectors without DetectBatch (the fakes), batching options must change
+// nothing either.
+func TestPrecomputeBatchSizeOneMatchesLegacyPath(t *testing.T) {
+	dep := testDeployment(t)
+	samples := manySamples(100)
+	a, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: 4, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) || !reflect.DeepEqual(a.Contexts, b.Contexts) {
+		t.Fatal("fallback detectors diverge across batching options")
+	}
+}

@@ -98,18 +98,32 @@ type Precomputed struct {
 	PolicyOverheadMs float64
 }
 
+// DefaultPrecomputeBatch is how many samples Precompute stacks into one
+// vectorised DetectBatch call by default: large enough to amortise each
+// model's weight matrices across the batch, small enough that chunks still
+// shard evenly across workers.
+const DefaultPrecomputeBatch = 32
+
 // PrecomputeOptions tunes Precompute's evaluation engine.
 type PrecomputeOptions struct {
 	// Workers is the number of goroutines detecting samples concurrently.
 	// Values < 1 mean one worker per available CPU (GOMAXPROCS); 1 forces
 	// the sequential path.
 	Workers int
+	// BatchSize is how many samples are judged per vectorised detection
+	// call for detectors implementing anomaly.BatchDetector. Values < 1
+	// pick DefaultPrecomputeBatch; 1 degrades to per-sample granularity.
+	// Batched and per-sample detection produce identical outcomes (the
+	// repository's batch engines are bit-identical to their per-sample
+	// paths), so this is purely a throughput knob.
+	BatchSize int
 }
 
 // Precompute runs every detector on every sample and extracts contexts,
-// fanning samples out across one worker per available CPU. ext may be nil
-// when no adaptive scheme will be used. Use PrecomputeWith to control the
-// worker count.
+// batching samples through the vectorised detection engine and fanning the
+// batches out across one worker per available CPU. ext may be nil when no
+// adaptive scheme will be used. Use PrecomputeWith to control the worker
+// count and batch size.
 func Precompute(dep *Deployment, ext features.Extractor, samples []Sample) (*Precomputed, error) {
 	return PrecomputeWith(dep, ext, samples, PrecomputeOptions{})
 }
@@ -117,9 +131,10 @@ func Precompute(dep *Deployment, ext features.Extractor, samples []Sample) (*Pre
 // PrecomputeWith is Precompute with explicit options.
 //
 // Detection is deterministic per sample and inference never mutates model
-// state, so samples shard safely by index: worker i writes only
-// Outcomes[i] / Contexts[i], and the result is identical to the sequential
-// path (Workers: 1) for any worker count.
+// state, so samples shard safely by index: a worker owns a contiguous chunk
+// of samples and writes only that chunk's Outcomes / Contexts, and the
+// result is identical to the sequential path (Workers: 1) for any worker
+// count and any batch size.
 func PrecomputeWith(dep *Deployment, ext features.Extractor, samples []Sample, opt PrecomputeOptions) (*Precomputed, error) {
 	pc := &Precomputed{
 		Samples:          samples,
@@ -136,25 +151,51 @@ func PrecomputeWith(dep *Deployment, ext features.Extractor, samples []Sample, o
 	if ext != nil {
 		pc.Contexts = make([][]float64, len(samples))
 	}
-	err := parallel.ForEach(opt.Workers, len(samples), func(i int) error {
-		s := samples[i]
+	bs := opt.BatchSize
+	if bs < 1 {
+		bs = DefaultPrecomputeBatch
+	}
+	// Never let chunking starve the worker pool: on hosts with more workers
+	// than chunks, shrink the batch until every worker has one. Outcomes are
+	// identical at any batch size, so this only trades a little per-chunk
+	// amortisation for full core utilisation.
+	if w := parallel.Workers(opt.Workers, len(samples)); w > 1 {
+		if maxBS := (len(samples) + w - 1) / w; bs > maxBS {
+			bs = maxBS
+		}
+	}
+	chunks := (len(samples) + bs - 1) / bs
+	err := parallel.ForEach(opt.Workers, chunks, func(ci int) error {
+		lo := ci * bs
+		hi := lo + bs
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		windows := make([][][]float64, hi-lo)
+		for k := range windows {
+			windows[k] = samples[lo+k].Frames
+		}
 		for l := Layer(0); l < NumLayers; l++ {
-			v, err := dep.Detectors[l].Detect(s.Frames)
+			vs, err := anomaly.DetectAll(dep.Detectors[l], windows)
 			if err != nil {
-				return fmt.Errorf("hec: precompute sample %d layer %v: %w", i, l, err)
+				return fmt.Errorf("hec: precompute samples %d-%d layer %v: %w", lo, hi-1, l, err)
 			}
-			exec, err := dep.ExecMs(l, len(s.Frames))
-			if err != nil {
-				return err
+			for k, v := range vs {
+				exec, err := dep.ExecMs(l, len(windows[k]))
+				if err != nil {
+					return err
+				}
+				pc.Outcomes[lo+k][l] = Outcome{Verdict: v, ExecMs: exec, E2EMs: pc.RTTs[l] + exec}
 			}
-			pc.Outcomes[i][l] = Outcome{Verdict: v, ExecMs: exec, E2EMs: pc.RTTs[l] + exec}
 		}
 		if ext != nil {
-			z, err := ext.Context(s.Frames)
-			if err != nil {
-				return fmt.Errorf("hec: precompute context %d: %w", i, err)
+			for k := range windows {
+				z, err := ext.Context(windows[k])
+				if err != nil {
+					return fmt.Errorf("hec: precompute context %d: %w", lo+k, err)
+				}
+				pc.Contexts[lo+k] = z
 			}
-			pc.Contexts[i] = z
 		}
 		return nil
 	})

@@ -101,10 +101,14 @@ type PolicyConfig struct {
 	LR float64
 	// Beta is the reinforcement-comparison baseline rate.
 	Beta float64
-	// Rollout batches REINFORCE steps: actions for Rollout samples are
-	// drawn under a frozen policy and their rewards evaluated concurrently
-	// before the (sequential, deterministic) updates apply. Values < 2 keep
-	// the paper's one-sample-at-a-time training.
+	// Rollout batches REINFORCE steps: each rollout sample gets a child RNG
+	// seeded sequentially from the parent stream, its action sampled under
+	// a frozen policy and its reward evaluated concurrently across workers,
+	// before the (sequential, deterministic) updates apply. The shared
+	// parent *rand.Rand is never handed to a worker goroutine, so a fixed
+	// seed trains the same policy at any worker count (see
+	// policy.Trainer.StepBatch for the full determinism contract). Values
+	// < 2 keep the paper's one-sample-at-a-time training.
 	Rollout int
 	// RolloutWorkers bounds the goroutines evaluating a rollout's rewards;
 	// < 1 means one per available CPU.

@@ -1,0 +1,271 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(r, c int, rng *rand.Rand) *Matrix {
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestMulIntoMatchesMul checks the blocked kernel against the reference
+// product, including shapes that exercise partial tiles and the parallel
+// row fan-out.
+func TestMulIntoMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 4}, {32, 672, 336}, {129, 257, 131}, {200, 64, 300}}
+	for _, s := range shapes {
+		a, b := randMatrix(s[0], s[1], rng), randMatrix(s[1], s[2], rng)
+		want, err := Mul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := New(s[0], s[2])
+		got.Fill(42) // MulInto must overwrite, not accumulate
+		if err := MulInto(got, a, b); err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(want, got, 0) {
+			t.Fatalf("MulInto %v diverges from Mul", s)
+		}
+	}
+}
+
+// TestMulBTIntoMatchesPerSampleMulVec pins the batch-forward contract: row i
+// of a·bᵀ must be bit-identical to b.MulVec(a.Row(i)), which is what makes
+// ForwardBatch reproduce the per-sample forward pass exactly.
+func TestMulBTIntoMatchesPerSampleMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range [][3]int{{1, 4, 3}, {33, 672, 336}, {100, 97, 51}} {
+		x, w := randMatrix(s[0], s[1], rng), randMatrix(s[2], s[1], rng)
+		got := New(s[0], s[2])
+		if err := MulBTInto(got, x, w); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < s[0]; i++ {
+			want, err := w.MulVec(x.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j, v := range want {
+				if got.At(i, j) != v {
+					t.Fatalf("shape %v row %d col %d: batch %g vs per-sample %g", s, i, j, got.At(i, j), v)
+				}
+			}
+		}
+	}
+}
+
+// TestMulTAddIntoMatchesOuterAdd pins the gradient contract: accumulating
+// dYᵀ·X must equal per-sample OuterAdd calls in batch order, bit for bit.
+func TestMulTAddIntoMatchesOuterAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range [][3]int{{1, 3, 2}, {32, 40, 30}, {65, 336, 672}} {
+		dy, x := randMatrix(s[0], s[1], rng), randMatrix(s[0], s[2], rng)
+		want := randMatrix(s[1], s[2], rng)
+		got := want.Clone()
+		for i := 0; i < s[0]; i++ {
+			if err := want.OuterAdd(dy.Row(i), x.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := MulTAddInto(got, dy, x); err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(want, got, 0) {
+			t.Fatalf("MulTAddInto %v diverges from per-sample OuterAdd", s)
+		}
+	}
+}
+
+// TestMulTIntoMatchesMulT checks aᵀ·b against transpose-then-multiply.
+func TestMulTIntoMatchesMulT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a, b := randMatrix(37, 53, rng), randMatrix(37, 29, rng)
+	want, err := Mul(a.T(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New(53, 29)
+	got.Fill(-3)
+	if err := MulTInto(got, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(want, got, 1e-12) {
+		t.Fatal("MulTInto diverges from Mul(aᵀ, b)")
+	}
+}
+
+// TestMulIntoDstIndependentOfBlocking runs a product large enough for the
+// parallel path and compares against the sequential reference: the blocked,
+// fanned-out kernel must be bit-identical.
+func TestMulIntoDstIndependentOfBlocking(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a, b := randMatrix(300, 400, rng), randMatrix(400, 350, rng)
+	want, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := New(300, 350)
+	if err := MulInto(got, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(want, got, 0) {
+		t.Fatal("parallel blocked MulInto is not bit-identical to the sequential product")
+	}
+}
+
+func TestBatchKernelShapeErrors(t *testing.T) {
+	a, b := New(2, 3), New(4, 5)
+	if err := MulInto(New(2, 5), a, b); err == nil {
+		t.Fatal("MulInto with mismatched inner dims must error")
+	}
+	if err := MulBTInto(New(2, 4), a, b); err == nil {
+		t.Fatal("MulBTInto with mismatched widths must error")
+	}
+	if err := MulTInto(New(3, 5), a, b); err == nil {
+		t.Fatal("MulTInto with mismatched rows must error")
+	}
+	ok := New(2, 3)
+	if err := MulInto(ok, a, New(3, 3)); err != nil {
+		t.Fatalf("conforming MulInto: %v", err)
+	}
+	if err := MulInto(New(1, 1), a, New(3, 3)); err == nil {
+		t.Fatal("MulInto with wrong dst shape must error")
+	}
+}
+
+func TestAddRowWiseAndSumColumns(t *testing.T) {
+	m, _ := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if err := m.AddRowWise([]float64{10, 20, 30}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{11, 22, 33, 14, 25, 36}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddRowWise elem %d: got %g want %g", i, m.Data[i], v)
+		}
+	}
+	sums := make([]float64, 3)
+	if err := m.SumColumnsInto(sums); err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range []float64{25, 47, 69} {
+		if sums[j] != want {
+			t.Fatalf("SumColumnsInto col %d: got %g want %g", j, sums[j], want)
+		}
+	}
+	if err := m.AddRowWise([]float64{1}); err == nil {
+		t.Fatal("AddRowWise with wrong width must error")
+	}
+	if err := m.SumColumnsInto([]float64{1}); err == nil {
+		t.Fatal("SumColumnsInto with wrong width must error")
+	}
+}
+
+func TestReshapeReusesBacking(t *testing.T) {
+	m := New(4, 8)
+	data := &m.Data[0]
+	m.Reshape(2, 16)
+	if m.Rows != 2 || m.Cols != 16 || len(m.Data) != 32 {
+		t.Fatalf("Reshape shape: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != data {
+		t.Fatal("Reshape within capacity must not reallocate")
+	}
+	m.Reshape(8, 8)
+	if len(m.Data) != 64 {
+		t.Fatal("growing Reshape must extend the buffer")
+	}
+}
+
+// TestLogPDFRowsMatchesLogPDF pins batch scoring to the per-point scorer.
+func TestLogPDFRowsMatchesLogPDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, dim := range []int{1, 5, 18} {
+		samples := make([][]float64, 200)
+		for i := range samples {
+			s := make([]float64, dim)
+			for j := range s {
+				s[j] = rng.NormFloat64()
+			}
+			samples[i] = s
+		}
+		g, err := FitGaussian(samples, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, err := NewFromRows(samples[:64])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.LogPDFRows(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < xs.Rows; i++ {
+			want, err := g.LogPDF(xs.Row(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("dim %d row %d: batch %g vs per-point %g", dim, i, got[i], want)
+			}
+		}
+		if _, err := g.LogPDFRows(New(2, dim+1)); err == nil {
+			t.Fatal("LogPDFRows with wrong dim must error")
+		}
+	}
+}
+
+// BenchmarkMulIntoBatch32 measures the AE-Cloud-shaped batch forward product
+// (32×672 by 672×336) through the blocked kernel.
+func BenchmarkMulIntoBatch32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, w := randMatrix(32, 672, rng), randMatrix(672, 336, rng)
+	dst := New(32, 336)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MulInto(dst, x, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulBTIntoBatch32 measures the batch forward product Y = X·Wᵀ for
+// an AE-Cloud-shaped layer at batch 32 — compare BenchmarkMulVecLoop32, the
+// per-sample baseline doing identical arithmetic.
+func BenchmarkMulBTIntoBatch32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, w := randMatrix(32, 672, rng), randMatrix(336, 672, rng)
+	dst := New(32, 336)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := MulBTInto(dst, x, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulVecLoop32 is the per-sample baseline for the same work: 32
+// matrix-vector products, re-streaming the weight matrix per sample.
+func BenchmarkMulVecLoop32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, w := randMatrix(32, 672, rng), randMatrix(336, 672, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 32; s++ {
+			if _, err := w.MulVec(x.Row(s)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

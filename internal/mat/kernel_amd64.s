@@ -1,0 +1,69 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotPanel2x4(a0, a1, panel *float64, k int, out *[8]float64)
+//
+// Computes eight dot products at once — two sample rows (a0, a1) against
+// four weight rows interleaved into panel (panel[4·kk+c] is weight row c at
+// position kk) — using SSE2 only, which is part of the amd64 baseline and
+// needs no runtime feature detection.
+//
+// Numerical contract: each XMM lane owns exactly one (row, column) output
+// and performs MULPD-then-ADDPD per kk in ascending order — the same
+// multiply-then-accumulate sequence per element as the scalar kernel and
+// the per-sample MulVec loop, so results are bit-identical to both.
+//
+// out layout: [r0c0 r0c1 r0c2 r0c3 r1c0 r1c1 r1c2 r1c3].
+TEXT ·dotPanel2x4(SB), NOSPLIT, $0-40
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ panel+16(FP), BX
+	MOVQ k+24(FP), CX
+	MOVQ out+32(FP), DX
+
+	// Accumulators: X0=[r0c0 r0c1] X1=[r0c2 r0c3] X2=[r1c0 r1c1] X3=[r1c2 r1c3].
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+
+	TESTQ CX, CX
+	JLE   done
+
+loop:
+	// Panel columns for this kk (unaligned loads: the panel lives on the
+	// caller's stack).
+	MOVUPD (BX), X8     // [c0 c1]
+	MOVUPD 16(BX), X9   // [c2 c3]
+
+	// Row 0: broadcast a0[kk] and fuse into both column pairs.
+	MOVSD    (SI), X4
+	UNPCKLPD X4, X4
+	MOVAPS   X4, X5
+	MULPD    X8, X4
+	ADDPD    X4, X0
+	MULPD    X9, X5
+	ADDPD    X5, X1
+
+	// Row 1: broadcast a1[kk].
+	MOVSD    (DI), X6
+	UNPCKLPD X6, X6
+	MOVAPS   X6, X7
+	MULPD    X8, X6
+	ADDPD    X6, X2
+	MULPD    X9, X7
+	ADDPD    X7, X3
+
+	ADDQ $8, SI
+	ADDQ $8, DI
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  loop
+
+done:
+	MOVUPD X0, (DX)
+	MOVUPD X1, 16(DX)
+	MOVUPD X2, 32(DX)
+	MOVUPD X3, 48(DX)
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package mat
+
+// mulBTRangeKernel reports false on architectures without an assembly
+// micro-kernel; mulBTRange falls back to the pure-Go register-blocked
+// kernel, which computes identical results.
+func mulBTRangeKernel(dst, a, b *Matrix, r0, r1 int) bool {
+	return false
+}

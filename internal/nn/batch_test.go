@@ -1,0 +1,476 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// testNet builds a small AE-shaped network (no dropout, so forward passes
+// are deterministic) plus a random batch.
+func testNet(t *testing.T, rng *rand.Rand) *Sequential {
+	t.Helper()
+	return NewSequential(
+		NewDense(12, 8, rng),
+		NewActivation(ActReLU),
+		NewDense(8, 4, rng),
+		NewActivation(ActTanh),
+		NewDense(4, 12, rng),
+	)
+}
+
+func randBatch(b, n int, rng *rand.Rand) *mat.Matrix {
+	x := mat.New(b, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestForwardBatchMatchesPerSample pins the core equivalence claim of the
+// batched engine: row i of ForwardBatch equals Forward on row i, bit for
+// bit, because the batch kernels accumulate in the per-sample order.
+func TestForwardBatchMatchesPerSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := testNet(t, rng)
+	x := randBatch(17, 12, rng)
+	y, err := net.ForwardBatch(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy: the returned matrix is scratch and per-sample Forward below runs
+	// through the same layers.
+	got := y.Clone()
+	for i := 0; i < x.Rows; i++ {
+		want, err := net.Forward(x.Row(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range want {
+			if got.At(i, j) != v {
+				t.Fatalf("row %d col %d: batch %g vs per-sample %g", i, j, got.At(i, j), v)
+			}
+		}
+	}
+}
+
+// TestBackwardBatchMatchesPerSample checks that one batched backward pass
+// accumulates exactly the sum of per-sample gradients (in batch order).
+func TestBackwardBatchMatchesPerSample(t *testing.T) {
+	rngA := rand.New(rand.NewSource(2))
+	rngB := rand.New(rand.NewSource(2))
+	netA := testNet(t, rngA) // per-sample
+	netB := testNet(t, rngB) // batched; identical weights by construction
+
+	rng := rand.New(rand.NewSource(3))
+	x := randBatch(9, 12, rng)
+	target := randBatch(9, 12, rng)
+
+	// Per-sample accumulation, batch-averaged gradient scale.
+	netA.ZeroGrads()
+	B := float64(x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		out, err := netA.Forward(x.Row(i), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, g, err := MSELoss(out, target.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range g {
+			g[j] /= B
+		}
+		if _, err := netA.Backward(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	netB.ZeroGrads()
+	out, err := netB.ForwardBatch(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := mat.New(0, 0)
+	if _, err := MSELossBatch(out, target, grad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := netB.BackwardBatch(grad); err != nil {
+		t.Fatal(err)
+	}
+
+	pa, pb := netA.Params(), netB.Params()
+	for pi := range pa {
+		if !mat.Equal(pa[pi].Grad, pb[pi].Grad, 1e-9) {
+			t.Fatalf("param %s: batched gradient diverges from per-sample accumulation", pa[pi].Name)
+		}
+	}
+}
+
+// TestMSELossBatchSingletonMatchesMSELoss pins the batch-of-1 degeneracy.
+func TestMSELossBatchSingletonMatchesMSELoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pred := randBatch(1, 7, rng)
+	target := randBatch(1, 7, rng)
+	wantLoss, wantGrad, err := MSELoss(pred.Row(0), target.Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := mat.New(0, 0)
+	gotLoss, err := MSELossBatch(pred, target, grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLoss != wantLoss {
+		t.Fatalf("loss: batch %g vs per-sample %g", gotLoss, wantLoss)
+	}
+	for i, v := range wantGrad {
+		if grad.Data[i] != v {
+			t.Fatalf("grad %d: batch %g vs per-sample %g", i, grad.Data[i], v)
+		}
+	}
+	if _, err := MSELossBatch(pred, randBatch(2, 7, rng), grad); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	if _, err := MSELossBatch(mat.New(0, 0), mat.New(0, 0), grad); err == nil {
+		t.Fatal("empty batch must error")
+	}
+}
+
+// TestBatchGradientCheck runs a numerical gradient check directly against
+// the batched backward pass.
+func TestBatchGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := NewSequential(
+		NewDense(4, 6, rng),
+		NewActivation(ActSigmoid),
+		NewDense(6, 3, rng),
+	)
+	x := randBatch(5, 4, rng)
+	target := randBatch(5, 3, rng)
+	grad := mat.New(0, 0)
+
+	lossAt := func() float64 {
+		out, err := net.ForwardBatch(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := MSELossBatch(out, target, grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	net.ZeroGrads()
+	out, err := net.ForwardBatch(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MSELossBatch(out, target, grad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.BackwardBatch(grad); err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-6
+	for _, p := range net.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := lossAt()
+			p.Value.Data[i] = orig - eps
+			lm := lossAt()
+			p.Value.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			if d := numeric - analytic; d > 1e-5 || d < -1e-5 {
+				t.Fatalf("param %s elem %d: numeric %g vs analytic %g", p.Name, i, numeric, analytic)
+			}
+		}
+	}
+}
+
+// TestBatchForwardAllocationFree is the allocation assertion from the batch
+// refactor: after warm-up, both batch forward paths must not allocate — the
+// stateless inference path reuses the caller's scratch, the stateful
+// training path reuses layer scratch — while the batch size is stable. The
+// shapes stay below the kernels' parallel fan-out threshold so the
+// measurement sees the pure sequential path.
+func TestBatchForwardAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewSequential(
+		NewDense(32, 16, rng),
+		NewActivation(ActReLU),
+		NewDense(16, 32, rng),
+	)
+	x := randBatch(8, 32, rng)
+	var ws BatchScratch
+	if _, err := net.InferBatch(&ws, x); err != nil { // warm scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := net.InferBatch(&ws, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state InferBatch allocates %.1f times per run, want 0", allocs)
+	}
+
+	if _, err := net.ForwardBatch(x, true); err != nil { // warm layer scratch
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := net.ForwardBatch(x, true); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state training ForwardBatch allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestInferBatchMatchesForwardBatch pins the stateless inference path to the
+// stateful one, and exercises concurrent shared-model inference (meaningful
+// under -race): every goroutine brings its own scratch and must read the
+// same results.
+func TestInferBatchMatchesForwardBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := testNet(t, rng)
+	x := randBatch(11, 12, rng)
+	stateful, err := net.ForwardBatch(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stateful.Clone()
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			var ws BatchScratch
+			for rep := 0; rep < 20; rep++ {
+				y, err := net.InferBatch(&ws, x)
+				if err != nil {
+					done <- err
+					return
+				}
+				if !mat.Equal(want, y, 0) {
+					done <- fmt.Errorf("concurrent InferBatch diverged")
+					return
+				}
+				// The per-sample inference path must also be shareable.
+				row, err := net.Forward(x.Row(rep%x.Rows), false)
+				if err != nil {
+					done <- err
+					return
+				}
+				for j, v := range row {
+					if want.At(rep%x.Rows, j) != v {
+						done <- fmt.Errorf("concurrent per-sample forward diverged")
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDropoutBatchSemantics pins the documented dropout batch contract: the
+// mask is per element in row-major order, so a batched pass consumes the rng
+// exactly as sequential per-sample passes would and produces the same mask.
+func TestDropoutBatchSemantics(t *testing.T) {
+	const rate = 0.4
+	batch := func() *mat.Matrix {
+		d := NewDropout(rate, rand.New(rand.NewSource(11)))
+		out, err := d.ForwardBatch(randBatch(6, 10, rand.New(rand.NewSource(12))), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Clone()
+	}()
+	perSample := func() *mat.Matrix {
+		d := NewDropout(rate, rand.New(rand.NewSource(11)))
+		x := randBatch(6, 10, rand.New(rand.NewSource(12)))
+		out := mat.New(6, 10)
+		for i := 0; i < x.Rows; i++ {
+			row, err := d.Forward(x.Row(i), true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(out.Row(i), row)
+		}
+		return out
+	}()
+	if !mat.Equal(batch, perSample, 0) {
+		t.Fatal("batched dropout mask diverges from sequential per-sample masks")
+	}
+
+	// The mask must vary across rows (per element, not one mask per batch):
+	// with 60 elements at rate 0.4 the odds of two identical 10-wide rows
+	// are negligible.
+	distinct := false
+	for i := 1; i < batch.Rows && !distinct; i++ {
+		for j := 0; j < batch.Cols; j++ {
+			z0, zi := batch.At(0, j) == 0, batch.At(i, j) == 0
+			if z0 != zi {
+				distinct = true
+				break
+			}
+		}
+	}
+	if !distinct {
+		t.Fatal("dropout applied one shared mask to every row; the contract is per-element masking")
+	}
+
+	// Inference must be the identity regardless of batch shape.
+	d := NewDropout(rate, rand.New(rand.NewSource(13)))
+	x := randBatch(4, 5, rand.New(rand.NewSource(14)))
+	out, err := d.ForwardBatch(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equal(x, out, 0) {
+		t.Fatal("inference-mode dropout must pass the batch through unchanged")
+	}
+
+	// Backward routes gradients through the cached mask.
+	dTrain := NewDropout(rate, rand.New(rand.NewSource(15)))
+	fw, err := dTrain.ForwardBatch(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroAt := -1
+	for i, v := range fw.Data {
+		if v == 0 {
+			zeroAt = i
+			break
+		}
+	}
+	ones := mat.New(4, 5)
+	ones.Fill(1)
+	gin, err := dTrain.BackwardBatch(ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroAt >= 0 && gin.Data[zeroAt] != 0 {
+		t.Fatal("gradient leaked through a dropped element")
+	}
+}
+
+// TestQuantizeFP16UnderBatchPath checks the paper's FP16 deployment step
+// against the batched engine: quantised weights round-trip exactly (FP16 is
+// exactly representable in float64), and the batch forward pass through a
+// quantised network matches the per-sample pass on the same weights.
+func TestQuantizeFP16UnderBatchPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := testNet(t, rng)
+	worst := QuantizeParamsFP16(net.Params())
+	if worst <= 0 || worst > 1e-2 {
+		t.Fatalf("unexpected worst-case FP16 rounding error %g", worst)
+	}
+	// Idempotence: quantising again must change nothing.
+	if again := QuantizeParamsFP16(net.Params()); again != 0 {
+		t.Fatalf("second FP16 quantisation moved weights by %g, want 0", again)
+	}
+	x := randBatch(13, 12, rng)
+	y, err := net.ForwardBatch(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := y.Clone()
+	for i := 0; i < x.Rows; i++ {
+		want, err := net.Forward(x.Row(i), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range want {
+			if got.At(i, j) != v {
+				t.Fatalf("quantised net row %d col %d: batch %g vs per-sample %g", i, j, got.At(i, j), v)
+			}
+		}
+	}
+}
+
+// TestBackwardBatchBeforeForwardErrors covers the batch-path state guards.
+func TestBackwardBatchBeforeForwardErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := mat.New(1, 2)
+	if _, err := NewDense(2, 2, rng).BackwardBatch(g); err == nil {
+		t.Fatal("Dense.BackwardBatch before forward must error")
+	}
+	if _, err := NewActivation(ActReLU).BackwardBatch(g); err == nil {
+		t.Fatal("Activation.BackwardBatch before forward must error")
+	}
+	if _, err := NewDropout(0.5, rng).BackwardBatch(g); err == nil {
+		t.Fatal("Dropout.BackwardBatch before forward must error")
+	}
+	d := NewDense(2, 3, rng)
+	if _, err := d.ForwardBatch(mat.New(1, 5), false); err == nil {
+		t.Fatal("Dense.ForwardBatch with wrong width must error")
+	}
+	if _, err := d.ForwardBatch(mat.New(4, 2), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BackwardBatch(mat.New(3, 3)); err == nil {
+		t.Fatal("Dense.BackwardBatch with wrong batch must error")
+	}
+}
+
+// BenchmarkSequentialForwardBatch32 and BenchmarkSequentialForwardLoop32
+// compare one batched inference pass against 32 per-sample passes through an
+// AE-Cloud-shaped network.
+func BenchmarkSequentialForwardBatch32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := aeCloudShaped(rng)
+	x := mat.New(32, 672)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.ForwardBatch(x, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialForwardLoop32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := aeCloudShaped(rng)
+	x := mat.New(32, 672)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 32; s++ {
+			if _, err := net.Forward(x.Row(s), false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func aeCloudShaped(rng *rand.Rand) *Sequential {
+	widths := []int{672, 336, 112, 32, 112, 336, 672}
+	var layers []Layer
+	for i := 0; i+1 < len(widths); i++ {
+		layers = append(layers, NewDense(widths[i], widths[i+1], rng))
+		if i+2 < len(widths) {
+			layers = append(layers, NewActivation(ActReLU))
+		}
+	}
+	return NewSequential(layers...)
+}

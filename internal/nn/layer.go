@@ -4,9 +4,14 @@
 // reproduce the paper's autoencoder anomaly-detection models and the policy
 // network, replacing the TensorFlow/Keras stack the authors used.
 //
-// The library trains one sample at a time (stochastic updates with optional
-// mini-batch accumulation by the caller); at the model sizes in this
-// repository that is both simple and fast enough.
+// The library is batch-first: every layer consumes a batch of samples as a
+// *mat.Matrix with one sample per row and runs on the blocked matrix-matrix
+// kernels, so minibatch training and vectorised inference amortise each
+// weight matrix over the whole batch. The per-sample []float64 API is kept
+// as a batch-of-1 wrapper over the same code path, and because the batch
+// kernels accumulate in the exact floating-point order of the per-sample
+// kernels, a batch of B rows produces bit-identical outputs to B per-sample
+// passes.
 package nn
 
 import (
@@ -27,30 +32,63 @@ type Param struct {
 	WeightDecay bool
 }
 
-// Layer is one differentiable stage of a network operating on vectors.
+// Layer is one differentiable stage of a network.
 //
-// Forward consumes an input vector and returns the output; when train is
-// true the layer may cache values needed by Backward and apply stochastic
-// behaviour such as dropout. Backward consumes ∂L/∂output, accumulates
-// parameter gradients, and returns ∂L/∂input. A Backward call must be
-// preceded by a Forward call with train=true on the same layer.
+// The batch methods are the primary interface, consuming one sample per row
+// of a *mat.Matrix. They come in two flavours with different concurrency
+// contracts:
+//
+//   - ApplyBatch is the stateless inference form: it computes the layer's
+//     inference-mode output into caller-owned dst, reading only the layer's
+//     immutable parameters. Any number of goroutines may call ApplyBatch on
+//     a shared layer concurrently — this is what keeps concurrent detection
+//     (Precompute workers, transport servers, cluster devices) safe.
+//   - ForwardBatch/BackwardBatch are the stateful training forms: the layer
+//     caches whatever BackwardBatch needs in layer-owned scratch, applies
+//     stochastic behaviour such as dropout, and reuses its scratch across
+//     calls (the steady-state training step is allocation-free). A model
+//     must not run the stateful forms from more than one goroutine at a
+//     time, and a BackwardBatch call must be preceded by a ForwardBatch
+//     call with train=true. Matrices returned by the stateful forms are
+//     layer-owned scratch, valid until that layer's next call.
+//
+// Forward and Backward are the per-sample forms: Forward with train=false
+// routes through the stateless path (and thus stays concurrency-safe);
+// Forward with train=true and Backward are batch-of-1 wrappers over the
+// stateful path. They return freshly allocated slices the caller owns.
 type Layer interface {
 	Forward(x []float64, train bool) ([]float64, error)
 	Backward(gradOut []float64) ([]float64, error)
+	ApplyBatch(dst, x *mat.Matrix) error
+	ForwardBatch(x *mat.Matrix, train bool) (*mat.Matrix, error)
+	BackwardBatch(gradOut *mat.Matrix) (*mat.Matrix, error)
 	Params() []Param
 	// OutSize reports the layer's output width for an input of width in,
 	// or an error if the layer cannot accept that width.
 	OutSize(in int) (int, error)
 }
 
+// rowView wraps a vector as a 1×n matrix sharing storage. It serves two
+// roles: the batch-of-1 bridge from the per-sample API to the batch path,
+// and the uniform weights-and-biases view the optimisers consume via
+// Params.
+func rowView(x []float64) *mat.Matrix {
+	return &mat.Matrix{Rows: 1, Cols: len(x), Data: x}
+}
+
 // Dense is a fully connected layer: y = W·x + b with W ∈ ℝ^{out×in}.
+// The batch form computes Y = X·Wᵀ + b over one sample per row.
 type Dense struct {
 	W *mat.Matrix
 	B []float64
 
 	gradW *mat.Matrix
 	gradB []float64
-	lastX []float64
+
+	lastX  mat.Matrix // cached training input, batch×in
+	outB   mat.Matrix // forward scratch, batch×out
+	gradIn mat.Matrix // backward scratch, batch×in
+	haveX  bool
 }
 
 // NewDense creates a Dense layer with Glorot-uniform initialised weights and
@@ -69,47 +107,87 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward implements Layer.
-func (d *Dense) Forward(x []float64, train bool) ([]float64, error) {
-	y, err := d.W.MulVec(x)
-	if err != nil {
-		return nil, fmt.Errorf("dense forward: %w", err)
+// ApplyBatch implements Layer: dst = X·Wᵀ + b into caller-owned dst,
+// touching no layer state.
+func (d *Dense) ApplyBatch(dst, x *mat.Matrix) error {
+	if x.Cols != d.W.Cols {
+		return fmt.Errorf("%w: dense forward input width %d, want %d", mat.ErrShape, x.Cols, d.W.Cols)
 	}
-	for i := range y {
-		y[i] += d.B[i]
+	dst.Reshape(x.Rows, d.W.Rows)
+	if err := mat.MulBTInto(dst, x, d.W); err != nil {
+		return fmt.Errorf("dense forward: %w", err)
+	}
+	return dst.AddRowWise(d.B)
+}
+
+// ForwardBatch implements Layer: Y = X·Wᵀ + b, one sample per row.
+func (d *Dense) ForwardBatch(x *mat.Matrix, train bool) (*mat.Matrix, error) {
+	y := &d.outB
+	if err := d.ApplyBatch(y, x); err != nil {
+		return nil, err
 	}
 	if train {
-		d.lastX = mat.CloneVec(x)
+		d.lastX.Reshape(x.Rows, x.Cols)
+		copy(d.lastX.Data, x.Data)
+		d.haveX = true
 	}
 	return y, nil
 }
 
-// Backward implements Layer.
-func (d *Dense) Backward(gradOut []float64) ([]float64, error) {
-	if d.lastX == nil {
+// BackwardBatch implements Layer: accumulates dW += dYᵀ·X and db += Σ rows,
+// and returns dX = dY·W.
+func (d *Dense) BackwardBatch(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	if !d.haveX {
 		return nil, fmt.Errorf("nn: Dense.Backward before Forward(train=true)")
 	}
-	if len(gradOut) != d.W.Rows {
-		return nil, fmt.Errorf("%w: dense backward grad len %d, want %d", mat.ErrShape, len(gradOut), d.W.Rows)
+	if gradOut.Cols != d.W.Rows || gradOut.Rows != d.lastX.Rows {
+		return nil, fmt.Errorf("%w: dense backward grad %dx%d, want %dx%d",
+			mat.ErrShape, gradOut.Rows, gradOut.Cols, d.lastX.Rows, d.W.Rows)
 	}
-	if err := d.gradW.OuterAdd(gradOut, d.lastX); err != nil {
+	if err := mat.MulTAddInto(d.gradW, gradOut, &d.lastX); err != nil {
 		return nil, err
 	}
-	for i, g := range gradOut {
-		d.gradB[i] += g
+	if err := gradOut.SumColumnsInto(d.gradB); err != nil {
+		return nil, err
 	}
-	gradIn, err := d.W.MulVecT(gradOut)
+	gin := d.gradIn.Reshape(gradOut.Rows, d.W.Cols)
+	if err := mat.MulInto(gin, gradOut, d.W); err != nil {
+		return nil, err
+	}
+	return gin, nil
+}
+
+// Forward implements Layer as a batch-of-1 wrapper. With train=false it
+// runs the stateless path and is safe for concurrent use.
+func (d *Dense) Forward(x []float64, train bool) ([]float64, error) {
+	if !train {
+		var y mat.Matrix
+		if err := d.ApplyBatch(&y, rowView(x)); err != nil {
+			return nil, err
+		}
+		return y.Data, nil
+	}
+	y, err := d.ForwardBatch(rowView(x), true)
 	if err != nil {
 		return nil, err
 	}
-	return gradIn, nil
+	return mat.CloneVec(y.Data), nil
+}
+
+// Backward implements Layer as a batch-of-1 wrapper.
+func (d *Dense) Backward(gradOut []float64) ([]float64, error) {
+	gin, err := d.BackwardBatch(rowView(gradOut))
+	if err != nil {
+		return nil, err
+	}
+	return mat.CloneVec(gin.Data), nil
 }
 
 // Params implements Layer.
 func (d *Dense) Params() []Param {
 	return []Param{
 		{Name: "W", Value: d.W, Grad: d.gradW, WeightDecay: true},
-		{Name: "b", Value: wrapVec(d.B), Grad: wrapVec(d.gradB)},
+		{Name: "b", Value: rowView(d.B), Grad: rowView(d.gradB)},
 	}
 }
 
@@ -121,18 +199,15 @@ func (d *Dense) OutSize(in int) (int, error) {
 	return d.W.Rows, nil
 }
 
-// wrapVec views a slice as a 1×n matrix sharing storage, so optimisers can
-// treat weights and biases uniformly.
-func wrapVec(v []float64) *mat.Matrix {
-	return &mat.Matrix{Rows: 1, Cols: len(v), Data: v}
-}
-
 // Activation applies an element-wise nonlinearity.
 type Activation struct {
 	Fn ActFunc
 
-	lastOut []float64
-	lastIn  []float64
+	lastIn  mat.Matrix
+	lastOut mat.Matrix
+	outB    mat.Matrix
+	gradIn  mat.Matrix
+	haveIn  bool
 }
 
 // ActFunc identifies an element-wise activation function.
@@ -200,32 +275,71 @@ func (f ActFunc) Deriv(in, out float64) float64 {
 // NewActivation returns an activation layer for fn.
 func NewActivation(fn ActFunc) *Activation { return &Activation{Fn: fn} }
 
-// Forward implements Layer.
-func (a *Activation) Forward(x []float64, train bool) ([]float64, error) {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = a.Fn.Apply(v)
+// ApplyBatch implements Layer, touching no layer state.
+func (a *Activation) ApplyBatch(dst, x *mat.Matrix) error {
+	dst.Reshape(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		dst.Data[i] = a.Fn.Apply(v)
+	}
+	return nil
+}
+
+// ForwardBatch implements Layer.
+func (a *Activation) ForwardBatch(x *mat.Matrix, train bool) (*mat.Matrix, error) {
+	out := a.outB.Reshape(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = a.Fn.Apply(v)
 	}
 	if train {
-		a.lastIn = mat.CloneVec(x)
-		a.lastOut = mat.CloneVec(out)
+		a.lastIn.Reshape(x.Rows, x.Cols)
+		copy(a.lastIn.Data, x.Data)
+		a.lastOut.Reshape(x.Rows, x.Cols)
+		copy(a.lastOut.Data, out.Data)
+		a.haveIn = true
 	}
 	return out, nil
 }
 
-// Backward implements Layer.
-func (a *Activation) Backward(gradOut []float64) ([]float64, error) {
-	if a.lastIn == nil {
+// BackwardBatch implements Layer.
+func (a *Activation) BackwardBatch(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	if !a.haveIn {
 		return nil, fmt.Errorf("nn: Activation.Backward before Forward(train=true)")
 	}
-	if len(gradOut) != len(a.lastIn) {
-		return nil, fmt.Errorf("%w: activation backward grad len %d, want %d", mat.ErrShape, len(gradOut), len(a.lastIn))
+	if gradOut.Rows != a.lastIn.Rows || gradOut.Cols != a.lastIn.Cols {
+		return nil, fmt.Errorf("%w: activation backward grad %dx%d, want %dx%d",
+			mat.ErrShape, gradOut.Rows, gradOut.Cols, a.lastIn.Rows, a.lastIn.Cols)
 	}
-	gradIn := make([]float64, len(gradOut))
-	for i, g := range gradOut {
-		gradIn[i] = g * a.Fn.Deriv(a.lastIn[i], a.lastOut[i])
+	gin := a.gradIn.Reshape(gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		gin.Data[i] = g * a.Fn.Deriv(a.lastIn.Data[i], a.lastOut.Data[i])
 	}
-	return gradIn, nil
+	return gin, nil
+}
+
+// Forward implements Layer as a batch-of-1 wrapper. With train=false it
+// runs the stateless path and is safe for concurrent use.
+func (a *Activation) Forward(x []float64, train bool) ([]float64, error) {
+	if !train {
+		var y mat.Matrix
+		if err := a.ApplyBatch(&y, rowView(x)); err != nil {
+			return nil, err
+		}
+		return y.Data, nil
+	}
+	y, err := a.ForwardBatch(rowView(x), true)
+	if err != nil {
+		return nil, err
+	}
+	return mat.CloneVec(y.Data), nil
+}
+
+// Backward implements Layer as a batch-of-1 wrapper.
+func (a *Activation) Backward(gradOut []float64) ([]float64, error) {
+	gin, err := a.BackwardBatch(rowView(gradOut))
+	if err != nil {
+		return nil, err
+	}
+	return mat.CloneVec(gin.Data), nil
 }
 
 // Params implements Layer. Activations are parameter-free.
@@ -238,11 +352,21 @@ func (a *Activation) OutSize(in int) (int, error) { return in, nil }
 // and rescales the survivors by 1/(1−Rate) (inverted dropout), so inference
 // needs no adjustment. The paper applies a 0.3 drop-rate to the LSTM-decoder
 // output before its dense head.
+//
+// Batch semantics: the mask is drawn per element, not per row — every
+// element of the batch flips its own independent coin, in row-major order.
+// A batch of B rows therefore consumes the layer's rng stream exactly as B
+// sequential per-sample passes would, which keeps minibatch training at
+// batch size 1 bit-identical to the legacy per-sample trajectory and gives
+// larger batches the same expected regularisation per element.
 type Dropout struct {
 	Rate float64
 
-	rng  *rand.Rand
-	mask []float64
+	rng    *rand.Rand
+	mask   mat.Matrix
+	outB   mat.Matrix
+	gradIn mat.Matrix
+	masked bool
 }
 
 // NewDropout returns a dropout layer with the given rate in [0, 1), drawing
@@ -254,36 +378,73 @@ func NewDropout(rate float64, rng *rand.Rand) *Dropout {
 	return &Dropout{Rate: rate, rng: rng}
 }
 
-// Forward implements Layer.
+// ApplyBatch implements Layer: inference-mode (inverted) dropout is the
+// identity, so this is a plain copy drawing no randomness and touching no
+// layer state.
+func (d *Dropout) ApplyBatch(dst, x *mat.Matrix) error {
+	dst.Reshape(x.Rows, x.Cols)
+	copy(dst.Data, x.Data)
+	return nil
+}
+
+// ForwardBatch implements Layer.
+func (d *Dropout) ForwardBatch(x *mat.Matrix, train bool) (*mat.Matrix, error) {
+	out := d.outB.Reshape(x.Rows, x.Cols)
+	if !train || d.Rate == 0 {
+		copy(out.Data, x.Data)
+		return out, nil
+	}
+	keep := 1 - d.Rate
+	mask := d.mask.Reshape(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			mask.Data[i] = 1 / keep
+			out.Data[i] = v / keep
+		} else {
+			mask.Data[i] = 0
+			out.Data[i] = 0
+		}
+	}
+	d.masked = true
+	return out, nil
+}
+
+// BackwardBatch implements Layer.
+func (d *Dropout) BackwardBatch(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	if !d.masked {
+		return nil, fmt.Errorf("nn: Dropout.Backward before Forward(train=true)")
+	}
+	if gradOut.Rows != d.mask.Rows || gradOut.Cols != d.mask.Cols {
+		return nil, fmt.Errorf("%w: dropout backward grad %dx%d, want %dx%d",
+			mat.ErrShape, gradOut.Rows, gradOut.Cols, d.mask.Rows, d.mask.Cols)
+	}
+	gin := d.gradIn.Reshape(gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		gin.Data[i] = g * d.mask.Data[i]
+	}
+	return gin, nil
+}
+
+// Forward implements Layer as a batch-of-1 wrapper. With train=false it
+// runs the stateless path and is safe for concurrent use.
 func (d *Dropout) Forward(x []float64, train bool) ([]float64, error) {
 	if !train || d.Rate == 0 {
 		return mat.CloneVec(x), nil
 	}
-	keep := 1 - d.Rate
-	d.mask = make([]float64, len(x))
-	out := make([]float64, len(x))
-	for i, v := range x {
-		if d.rng.Float64() < keep {
-			d.mask[i] = 1 / keep
-			out[i] = v / keep
-		}
+	y, err := d.ForwardBatch(rowView(x), true)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return mat.CloneVec(y.Data), nil
 }
 
-// Backward implements Layer.
+// Backward implements Layer as a batch-of-1 wrapper.
 func (d *Dropout) Backward(gradOut []float64) ([]float64, error) {
-	if d.mask == nil {
-		return nil, fmt.Errorf("nn: Dropout.Backward before Forward(train=true)")
+	gin, err := d.BackwardBatch(rowView(gradOut))
+	if err != nil {
+		return nil, err
 	}
-	if len(gradOut) != len(d.mask) {
-		return nil, fmt.Errorf("%w: dropout backward grad len %d, want %d", mat.ErrShape, len(gradOut), len(d.mask))
-	}
-	gradIn := make([]float64, len(gradOut))
-	for i, g := range gradOut {
-		gradIn[i] = g * d.mask[i]
-	}
-	return gradIn, nil
+	return mat.CloneVec(gin.Data), nil
 }
 
 // Params implements Layer. Dropout is parameter-free.

@@ -30,6 +30,51 @@ func (n *Sequential) Forward(x []float64, train bool) ([]float64, error) {
 	return cur, nil
 }
 
+// BatchScratch is the caller-owned workspace of InferBatch: two ping-pong
+// activation buffers that grow to the network's widest layer and are reused
+// across calls. Each concurrent goroutine brings its own BatchScratch, which
+// is what makes shared-model batch inference both data-race free and
+// allocation-free in steady state.
+type BatchScratch struct {
+	a, b mat.Matrix
+}
+
+// InferBatch runs inference on a batch, one sample per row, using only the
+// network's immutable parameters and the caller's scratch — safe for any
+// number of goroutines sharing the network, each with its own scratch. The
+// returned matrix aliases ws and is valid until the next InferBatch call
+// with the same scratch. Row i of the result is bit-identical to
+// Forward(row i, false).
+func (n *Sequential) InferBatch(ws *BatchScratch, x *mat.Matrix) (*mat.Matrix, error) {
+	cur := x
+	bufs := [2]*mat.Matrix{&ws.a, &ws.b}
+	for i, l := range n.Layers {
+		dst := bufs[i%2]
+		if err := l.ApplyBatch(dst, cur); err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		cur = dst
+	}
+	return cur, nil
+}
+
+// ForwardBatch runs the network on a batch, one sample per row, through the
+// stateful training path (layer caches and scratch are reused; not safe for
+// concurrent use on one model — see Layer). The returned matrix is scratch
+// owned by the final layer (valid until its next forward call); copy it to
+// retain it. Row i of the result is bit-identical to Forward on row i.
+func (n *Sequential) ForwardBatch(x *mat.Matrix, train bool) (*mat.Matrix, error) {
+	cur := x
+	for i, l := range n.Layers {
+		var err error
+		cur, err = l.ForwardBatch(cur, train)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
 // Backward propagates ∂L/∂output back through the network, accumulating
 // parameter gradients, and returns ∂L/∂input.
 func (n *Sequential) Backward(gradOut []float64) ([]float64, error) {
@@ -37,6 +82,22 @@ func (n *Sequential) Backward(gradOut []float64) ([]float64, error) {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		var err error
 		cur, err = n.Layers[i].Backward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return cur, nil
+}
+
+// BackwardBatch propagates a batch of output gradients (same row layout as
+// ForwardBatch) back through the network, accumulating parameter gradients
+// summed over the batch, and returns ∂L/∂input. The returned matrix is
+// scratch owned by the first layer.
+func (n *Sequential) BackwardBatch(gradOut *mat.Matrix) (*mat.Matrix, error) {
+	cur := gradOut
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		var err error
+		cur, err = n.Layers[i].BackwardBatch(cur)
 		if err != nil {
 			return nil, fmt.Errorf("layer %d: %w", i, err)
 		}
@@ -100,6 +161,38 @@ func MSELoss(pred, target []float64) (float64, []float64, error) {
 		grad[i] = d / n
 	}
 	return loss / (2 * n), grad, nil
+}
+
+// MSELossBatch returns the minibatch MSE loss — the mean over rows of the
+// per-sample loss ½·Σ(pred−target)²/n — and its gradient with respect to
+// pred, (pred−target)/(n·B), written into grad (reshaped to pred's shape).
+// Dividing the gradient by the batch size makes one optimiser step on a
+// batch of B samples equivalent to averaging B per-sample gradients, and at
+// B = 1 the loss and gradient are bit-identical to MSELoss.
+func MSELossBatch(pred, target, grad *mat.Matrix) (float64, error) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		return 0, fmt.Errorf("%w: MSE pred %dx%d, target %dx%d", mat.ErrShape, pred.Rows, pred.Cols, target.Rows, target.Cols)
+	}
+	if pred.Rows == 0 || pred.Cols == 0 {
+		return 0, fmt.Errorf("%w: MSE on empty %dx%d batch", mat.ErrShape, pred.Rows, pred.Cols)
+	}
+	grad.Reshape(pred.Rows, pred.Cols)
+	n := float64(pred.Cols)
+	denom := n * float64(pred.Rows)
+	var total float64
+	for r := 0; r < pred.Rows; r++ {
+		prow := pred.Row(r)
+		trow := target.Row(r)
+		grow := grad.Row(r)
+		var loss float64
+		for i, p := range prow {
+			d := p - trow[i]
+			loss += d * d
+			grow[i] = d / denom
+		}
+		total += loss / (2 * n)
+	}
+	return total / float64(pred.Rows), nil
 }
 
 // FlopsDense estimates multiply-accumulate FLOPs of a forward pass through

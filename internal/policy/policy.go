@@ -199,58 +199,72 @@ func (t *Trainer) Step(z []float64, rewardFn func(action int) (float64, error), 
 }
 
 // StepBatch runs one batched REINFORCE rollout over a batch of contexts:
-// every action is sampled under the current (frozen) policy, the rewards
-// are evaluated concurrently across workers (the expensive part when the
-// reward runs a detector), and the parameter updates are applied
-// sequentially in index order.
+// every action is sampled under the current (frozen) policy and its reward
+// evaluated concurrently across workers (the expensive part when the reward
+// runs a detector), then the parameter updates are applied sequentially in
+// index order.
 //
-// Determinism: rng is consumed once per context in index order, the reward
-// function receives (index, action) so it can replay precomputed outcomes,
-// and updates apply in index order — so a fixed rng yields a fixed training
-// trajectory regardless of the worker count. The gradient for item i uses
-// the policy as updated by items 0..i−1 while its action was sampled under
-// the batch-start policy; for the small batches used here that off-policy
-// drift is negligible, and it vanishes at batch size 1, where StepBatch
-// degenerates to Step.
+// Determinism and RNG-sharing contract: the parent rng is never handed to a
+// worker goroutine. It is consumed exactly n times, sequentially in index
+// order, to derive one child seed per rollout item; each worker then samples
+// its item's action from its own child RNG. Because every random draw is
+// attributable to exactly one item regardless of which goroutine runs it —
+// and the reward function receives (index, action) so it can replay
+// precomputed outcomes — a fixed parent rng yields a fixed training
+// trajectory for any worker count. This is pinned (under -race) by
+// TestStepBatchWorkerCountInvariant and hec's
+// TestTrainPolicyRolloutDeterministic.
+//
+// A single-item batch delegates to Step on the parent rng, so StepBatch
+// degenerates to Step exactly. The gradient for item i uses the policy as
+// updated by items 0..i−1 while its action was sampled under the batch-start
+// policy; for the small batches used here that off-policy drift is
+// negligible, and it vanishes at batch size 1.
 func (t *Trainer) StepBatch(zs [][]float64, rewardFn func(i, action int) (float64, error), workers int, rng *rand.Rand) ([]int, []float64, error) {
 	n := len(zs)
 	if n == 0 {
 		return nil, nil, fmt.Errorf("policy: empty rollout batch")
 	}
-	// Action distributions under the frozen batch-start policy, in parallel:
-	// inference is read-only on the network.
-	probs, err := parallel.Map(workers, n, func(i int) ([]float64, error) {
-		return t.Net.Probs(zs[i])
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	// Sample sequentially so the rng stream is independent of scheduling.
-	actions := make([]int, n)
-	for i, pr := range probs {
-		r := rng.Float64()
-		actions[i] = len(pr) - 1 // numerical tail
-		var cum float64
-		for a, p := range pr {
-			cum += p
-			if r < cum {
-				actions[i] = a
-				break
-			}
-		}
-	}
-	rewards, err := parallel.Map(workers, n, func(i int) (float64, error) {
-		rw, err := rewardFn(i, actions[i])
+	if n == 1 {
+		action, reward, err := t.Step(zs[0], func(a int) (float64, error) { return rewardFn(0, a) }, rng)
 		if err != nil {
-			return 0, fmt.Errorf("policy: reward for rollout %d action %d: %w", i, actions[i], err)
+			return nil, nil, err
+		}
+		return []int{action}, []float64{reward}, nil
+	}
+	// One child seed per item, drawn sequentially from the parent stream.
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	type rollout struct {
+		action int
+		reward float64
+	}
+	// Sampling and reward evaluation fan out together: policy inference is
+	// read-only on the network, each item draws only from its child RNG.
+	outs, err := parallel.Map(workers, n, func(i int) (rollout, error) {
+		child := rand.New(rand.NewSource(seeds[i]))
+		action, _, err := t.Net.Sample(zs[i], child)
+		if err != nil {
+			return rollout{}, err
+		}
+		rw, err := rewardFn(i, action)
+		if err != nil {
+			return rollout{}, fmt.Errorf("policy: reward for rollout %d action %d: %w", i, action, err)
 		}
 		if math.IsNaN(rw) || math.IsInf(rw, 0) {
-			return 0, fmt.Errorf("policy: non-finite reward %g for rollout %d", rw, i)
+			return rollout{}, fmt.Errorf("policy: non-finite reward %g for rollout %d", rw, i)
 		}
-		return rw, nil
+		return rollout{action: action, reward: rw}, nil
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	actions := make([]int, n)
+	rewards := make([]float64, n)
+	for i, o := range outs {
+		actions[i], rewards[i] = o.action, o.reward
 	}
 	for i := 0; i < n; i++ {
 		if !t.initialised {

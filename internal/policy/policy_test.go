@@ -3,6 +3,7 @@ package policy
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -401,5 +402,57 @@ func TestStepBatchValidation(t *testing.T) {
 		return math.Inf(1), nil
 	}, 2, rng); err == nil {
 		t.Fatal("non-finite reward must be rejected")
+	}
+}
+
+// TestStepBatchWorkerCountInvariant locks in the rollout RNG contract: the
+// shared parent rng is consumed only sequentially (one child seed per item),
+// every worker samples from its own child RNG, and updates apply in index
+// order — so the trained network must be bit-identical at any worker count.
+// Run under -race (as CI does) this also proves no worker touches the
+// parent rng concurrently.
+func TestStepBatchWorkerCountInvariant(t *testing.T) {
+	train := func(workers int) (*Network, *Trainer, []int) {
+		rng := rand.New(rand.NewSource(77))
+		net, err := NewNetwork(3, 10, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := NewTrainer(net, nn.NewAdam(2e-3), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream := rand.New(rand.NewSource(101))
+		var actions []int
+		for step := 0; step < 20; step++ {
+			zs := make([][]float64, 16)
+			for i := range zs {
+				zs[i] = []float64{float64(i%3) - 1, float64(step % 2), 0.5}
+			}
+			acts, _, err := tr.StepBatch(zs, func(i, a int) (float64, error) {
+				return float64((a+i)%3) * 0.4, nil
+			}, workers, stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actions = append(actions, acts...)
+		}
+		return net, tr, actions
+	}
+	netA, trA, actsA := train(1)
+	netB, trB, actsB := train(8)
+	if !reflect.DeepEqual(actsA, actsB) {
+		t.Fatal("sampled actions depend on worker count")
+	}
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		for j, v := range pa[i].Value.Data {
+			if v != pb[i].Value.Data[j] {
+				t.Fatalf("param %s[%d] diverged across worker counts: %g vs %g", pa[i].Name, j, v, pb[i].Value.Data[j])
+			}
+		}
+	}
+	if trA.Baseline() != trB.Baseline() {
+		t.Fatalf("baselines diverged: %g vs %g", trA.Baseline(), trB.Baseline())
 	}
 }

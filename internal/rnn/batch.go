@@ -1,0 +1,180 @@
+package rnn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Batched LSTM inference.
+//
+// The recurrent models spend their inference time in two matrix-vector
+// products per step per sequence. Batching B windows turns each step into
+// two matrix-matrix products (X_t·Wxᵀ and H·Whᵀ) through the blocked
+// kernels, amortising both weight matrices over the whole batch. The
+// kernels accumulate in per-sample order, so a batched reconstruction is
+// bit-identical to B sequential Reconstruct calls.
+//
+// Everything here is stateless with respect to the model: the evolving
+// batch state lives in a caller-owned StepState, so any number of
+// goroutines can run batched inference on a shared model concurrently.
+
+// StepState is the caller-owned state of one batched LSTM direction: the
+// current hidden and cell batches (one sequence per row) plus gate scratch
+// reused across steps.
+type StepState struct {
+	// H and C are the B×H hidden and cell state batches, updated in place
+	// by StepBatch.
+	H, C mat.Matrix
+
+	z, zh mat.Matrix
+}
+
+// Reset sizes the state for batch size b over hidden width h and zeroes the
+// states (the LSTM's initial condition).
+func (st *StepState) Reset(b, h int) {
+	st.H.Reshape(b, h).Zero()
+	st.C.Reshape(b, h).Zero()
+}
+
+// StepBatch advances the LSTM one timestep for a whole batch: x holds one
+// input frame per row, st carries the previous states in and the new states
+// out. Row r evolves exactly as step() would evolve sequence r alone — the
+// gate pre-activations, activations and state updates are computed in the
+// same floating-point order.
+func (l *LSTM) StepBatch(st *StepState, x *mat.Matrix) error {
+	H := l.HiddenSize
+	if x.Cols != l.InSize {
+		return fmt.Errorf("%w: batch step input width %d, want %d", mat.ErrShape, x.Cols, l.InSize)
+	}
+	if st.H.Rows != x.Rows || st.H.Cols != H || st.C.Rows != x.Rows || st.C.Cols != H {
+		return fmt.Errorf("%w: batch step state %dx%d for input %dx%d (hidden %d)",
+			mat.ErrShape, st.H.Rows, st.H.Cols, x.Rows, x.Cols, H)
+	}
+	z := st.z.Reshape(x.Rows, 4*H)
+	if err := mat.MulBTInto(z, x, l.Wx); err != nil {
+		return fmt.Errorf("lstm batch step: %w", err)
+	}
+	zh := st.zh.Reshape(x.Rows, 4*H)
+	if err := mat.MulBTInto(zh, &st.H, l.Wh); err != nil {
+		return fmt.Errorf("lstm batch step: %w", err)
+	}
+	for r := 0; r < x.Rows; r++ {
+		zr := z.Row(r)
+		zhr := zh.Row(r)
+		hr := st.H.Row(r)
+		cr := st.C.Row(r)
+		for i := range zr {
+			zr[i] += zhr[i] + l.B[i]
+		}
+		for i := 0; i < H; i++ {
+			ig := sigmoid(zr[i])
+			fg := sigmoid(zr[H+i])
+			gg := math.Tanh(zr[2*H+i])
+			og := sigmoid(zr[3*H+i])
+			c := fg*cr[i] + ig*gg
+			tc := math.Tanh(c)
+			cr[i] = c
+			hr[i] = og * tc
+		}
+	}
+	return nil
+}
+
+// ReconstructBatch runs autoregressive inference over a batch of equal-
+// length windows in lockstep: the encoder consumes one timestep of every
+// window per batched step, and the decoder regenerates all windows
+// together, each consuming its own previous reconstruction. It returns one
+// reconstructed sequence per window, bit-identical to per-window
+// Reconstruct calls, and is safe for concurrent use on a shared model.
+func (m *Seq2Seq) ReconstructBatch(windows [][][]float64) ([][][]float64, error) {
+	B := len(windows)
+	if B == 0 {
+		return nil, nil
+	}
+	T := len(windows[0])
+	if T == 0 {
+		return nil, fmt.Errorf("rnn: Reconstruct of empty sequence")
+	}
+	for w, xs := range windows {
+		if len(xs) != T {
+			return nil, fmt.Errorf("%w: batch window %d has %d steps, want %d", mat.ErrShape, w, len(xs), T)
+		}
+		for t, f := range xs {
+			if len(f) != m.InSize {
+				return nil, fmt.Errorf("%w: window %d step %d width %d, want %d", mat.ErrShape, w, t, len(f), m.InSize)
+			}
+		}
+	}
+
+	H := m.HiddenSize
+	xt := mat.New(B, m.InSize)
+	fill := func(t int) {
+		for w := range windows {
+			copy(xt.Row(w), windows[w][t])
+		}
+	}
+
+	// Encode: the decoder starts from the encoder's final states (for the
+	// bidirectional encoder, the two directions' final states are summed,
+	// matching encode()'s per-sample AddVec merge).
+	var dec StepState
+	if m.BiEncoder != nil {
+		var fwd, bwd StepState
+		fwd.Reset(B, H)
+		bwd.Reset(B, H)
+		for t := 0; t < T; t++ {
+			fill(t)
+			if err := m.BiEncoder.Fwd.StepBatch(&fwd, xt); err != nil {
+				return nil, fmt.Errorf("seq2seq encode: %w", err)
+			}
+		}
+		for t := T - 1; t >= 0; t-- {
+			fill(t)
+			if err := m.BiEncoder.Bwd.StepBatch(&bwd, xt); err != nil {
+				return nil, fmt.Errorf("seq2seq encode: %w", err)
+			}
+		}
+		dec.Reset(B, H)
+		for i, v := range fwd.H.Data {
+			dec.H.Data[i] = v + bwd.H.Data[i]
+		}
+		for i, v := range fwd.C.Data {
+			dec.C.Data[i] = v + bwd.C.Data[i]
+		}
+	} else {
+		var enc StepState
+		enc.Reset(B, H)
+		for t := 0; t < T; t++ {
+			fill(t)
+			if err := m.Encoder.StepBatch(&enc, xt); err != nil {
+				return nil, fmt.Errorf("seq2seq encode: %w", err)
+			}
+		}
+		dec.H, dec.C = enc.H, enc.C
+	}
+
+	out := make([][][]float64, B)
+	for w := range out {
+		out[w] = make([][]float64, T)
+	}
+	prev := mat.New(B, m.InSize) // zero start token
+	yt := mat.New(B, m.InSize)
+	for t := 0; t < T; t++ {
+		if err := m.Decoder.StepBatch(&dec, prev); err != nil {
+			return nil, fmt.Errorf("seq2seq decode step %d: %w", t, err)
+		}
+		if err := mat.MulBTInto(yt, &dec.H, m.Wy); err != nil {
+			return nil, err
+		}
+		if err := yt.AddRowWise(m.By); err != nil {
+			return nil, err
+		}
+		for w := range out {
+			out[w][t] = mat.CloneVec(yt.Row(w))
+		}
+		prev, yt = yt, prev
+	}
+	return out, nil
+}

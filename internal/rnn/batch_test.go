@@ -1,0 +1,158 @@
+package rnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func randWindows(b, t, d int, rng *rand.Rand) [][][]float64 {
+	out := make([][][]float64, b)
+	for w := range out {
+		out[w] = make([][]float64, t)
+		for s := range out[w] {
+			f := make([]float64, d)
+			for j := range f {
+				f[j] = rng.NormFloat64()
+			}
+			out[w][s] = f
+		}
+	}
+	return out
+}
+
+// TestReconstructBatchMatchesPerWindow pins the batched recurrent inference
+// path to the per-window path for both encoder variants: bit-identical
+// reconstructions for every window in the batch.
+func TestReconstructBatchMatchesPerWindow(t *testing.T) {
+	for _, bidi := range []bool{false, true} {
+		name := "lstm"
+		if bidi {
+			name = "bilstm"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			m, err := NewSeq2Seq(Config{InSize: 6, HiddenSize: 9, Bidirectional: bidi, DropRate: 0.3}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			windows := randWindows(7, 11, 6, rng)
+			got, err := m.ReconstructBatch(windows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for w, xs := range windows {
+				want, err := m.Reconstruct(xs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for s := range want {
+					for j := range want[s] {
+						if got[w][s][j] != want[s][j] {
+							t.Fatalf("window %d step %d dim %d: batch %g vs per-window %g",
+								w, s, j, got[w][s][j], want[s][j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStepBatchMatchesStep pins one batched LSTM step to per-sample steps
+// from arbitrary (non-zero) states.
+func TestStepBatchMatchesStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLSTM(4, 5, rng)
+	const B = 6
+	var st StepState
+	st.Reset(B, 5)
+	for i := range st.H.Data {
+		st.H.Data[i] = rng.NormFloat64()
+		st.C.Data[i] = rng.NormFloat64()
+	}
+	h0 := st.H.Clone()
+	c0 := st.C.Clone()
+	x := randWindows(1, B, 4, rng)[0] // B frames of width 4
+	xm, err := mat.NewFromRows(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.StepBatch(&st, xm); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < B; r++ {
+		h, c, _, _, err := l.step(x[r], h0.Row(r), c0.Row(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range h {
+			if st.H.At(r, i) != h[i] || st.C.At(r, i) != c[i] {
+				t.Fatalf("row %d unit %d: batch (%g,%g) vs step (%g,%g)",
+					r, i, st.H.At(r, i), st.C.At(r, i), h[i], c[i])
+			}
+		}
+	}
+}
+
+func TestReconstructBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewSeq2Seq(Config{InSize: 3, HiddenSize: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := m.ReconstructBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch: (%v, %v)", out, err)
+	}
+	if _, err := m.ReconstructBatch([][][]float64{{}}); err == nil {
+		t.Fatal("empty window must error")
+	}
+	ragged := randWindows(2, 5, 3, rng)
+	ragged[1] = ragged[1][:4]
+	if _, err := m.ReconstructBatch(ragged); err == nil {
+		t.Fatal("ragged batch must error")
+	}
+	bad := randWindows(1, 5, 3, rng)
+	bad[0][2] = []float64{1}
+	if _, err := m.ReconstructBatch(bad); err == nil {
+		t.Fatal("wrong frame width must error")
+	}
+}
+
+// BenchmarkReconstructBatch16 and BenchmarkReconstructLoop16 compare one
+// batched reconstruction of 16 MHEALTH-shaped windows (128×18) against 16
+// per-window passes.
+func BenchmarkReconstructBatch16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewSeq2Seq(Config{InSize: 18, HiddenSize: 16}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := randWindows(16, 128, 18, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ReconstructBatch(windows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructLoop16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewSeq2Seq(Config{InSize: 18, HiddenSize: 16}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := randWindows(16, 128, 18, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range windows {
+			if _, err := m.Reconstruct(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/autoencoder"
+	"repro/internal/mat"
 	"repro/internal/nn"
 	"repro/internal/rnn"
 )
@@ -202,6 +203,59 @@ func (m *Model) Detect(frames [][]float64) (anomaly.Verdict, error) {
 		return anomaly.Verdict{}, err
 	}
 	return m.Scorer.Judge(scores, m.Conf), nil
+}
+
+// DetectBatch implements anomaly.BatchDetector: windows of equal length are
+// reconstructed in lockstep through the batched LSTM kernels and their
+// per-step errors scored in one matrix pass. Windows of differing lengths
+// are grouped internally (the recurrent time loop must run in lockstep), so
+// callers may mix lengths freely. Verdicts are bit-identical to per-window
+// Detect calls; like Detect it is safe for concurrent use.
+func (m *Model) DetectBatch(windows [][][]float64) ([]anomaly.Verdict, error) {
+	if m.Scorer == nil {
+		return nil, fmt.Errorf("seq2seq: %s not fitted", m.ModelName)
+	}
+	if len(windows) == 0 {
+		return nil, nil
+	}
+	out := make([]anomaly.Verdict, len(windows))
+	groups := make(map[int][]int)
+	var lens []int // first-seen order, so batching is deterministic
+	for i, w := range windows {
+		if _, ok := groups[len(w)]; !ok {
+			lens = append(lens, len(w))
+		}
+		groups[len(w)] = append(groups[len(w)], i)
+	}
+	for _, T := range lens {
+		idxs := groups[T]
+		batch := make([][][]float64, len(idxs))
+		for k, i := range idxs {
+			batch[k] = windows[i]
+		}
+		recs, err := m.Net.ReconstructBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		errsM := mat.New(len(idxs)*T, m.Net.InSize)
+		for k := range batch {
+			for t := 0; t < T; t++ {
+				row := errsM.Row(k*T + t)
+				rec, x := recs[k][t], batch[k][t]
+				for j := range row {
+					row[j] = rec[j] - x[j]
+				}
+			}
+		}
+		scores, err := m.Scorer.ScoreMatrix(errsM)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range idxs {
+			out[i] = m.Scorer.Judge(scores[k*T:(k+1)*T], m.Conf)
+		}
+	}
+	return out, nil
 }
 
 // NumParams implements anomaly.Detector.

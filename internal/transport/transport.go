@@ -4,8 +4,9 @@
 // detection-service server for hosting a layer's model, client-side one-way
 // delay injection emulating the paper's tc-configured WAN links, request-ID
 // multiplexing so one connection pipelines many in-flight requests, a
-// client connection pool, and a model-shipping RPC so a node that trained a
-// detector can hand its weights to peers.
+// client connection pool, a batch-detection RPC that ships N windows per
+// request through the vectorised detection engine, and a model-shipping RPC
+// so a node that trained a detector can hand its weights to peers.
 //
 // The wire format is documented in docs/PROTOCOL.md.
 package transport
@@ -46,6 +47,11 @@ const (
 	OpDetect Op = iota
 	// OpFetchModel asks the server for its detector's shipped weights.
 	OpFetchModel
+	// OpDetectBatch asks the server to judge many windows in one request —
+	// the batch-inference RPC: one wire round trip and one vectorised
+	// detection pass amortise framing, gob codec and link latency over the
+	// whole batch.
+	OpDetectBatch
 )
 
 // DetectRequest is the client→server message. ID is echoed back in the
@@ -54,6 +60,8 @@ type DetectRequest struct {
 	ID     uint64
 	Op     Op
 	Frames [][]float64
+	// Windows carries the batch for OpDetectBatch; Frames is ignored.
+	Windows [][][]float64
 }
 
 // DetectResponse is the server→client message. Err is non-empty when the
@@ -70,6 +78,10 @@ type DetectResponse struct {
 	Err    string
 	// Model is set only for OpFetchModel responses.
 	Model *ModelSnapshot
+	// Verdicts and ExecMsEach are set only for OpDetectBatch responses, one
+	// entry per requested window (ExecMsEach mirrors ExecMs per window).
+	Verdicts   []anomaly.Verdict
+	ExecMsEach []float64
 }
 
 // ModelSnapshot is a detector shipped over the wire: the nn.Snapshot of its
@@ -288,6 +300,26 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 			exec = s.execMs(len(req.Frames))
 		}
 		return &DetectResponse{ID: req.ID, Verdict: v, ExecMs: exec, ProcMs: proc}
+	case OpDetectBatch:
+		if len(req.Windows) == 0 {
+			return &DetectResponse{ID: req.ID, Err: "empty detection batch"}
+		}
+		start := time.Now()
+		vs, err := anomaly.DetectAll(s.detector, req.Windows)
+		proc := float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			return &DetectResponse{ID: req.ID, ProcMs: proc, Err: err.Error()}
+		}
+		execEach := make([]float64, len(req.Windows))
+		for i, w := range req.Windows {
+			if s.execMs != nil {
+				execEach[i] = s.execMs(len(w))
+			} else {
+				// No compute model: split the measured handling time evenly.
+				execEach[i] = proc / float64(len(req.Windows))
+			}
+		}
+		return &DetectResponse{ID: req.ID, Verdicts: vs, ExecMsEach: execEach, ProcMs: proc}
 	case OpFetchModel:
 		if s.model == nil {
 			return &DetectResponse{ID: req.ID, Err: "no model snapshot available on this node"}
@@ -460,11 +492,13 @@ func (c *Client) do(req *DetectRequest) (*DetectResponse, error) {
 	return resp, nil
 }
 
-// Detect sends one window for remote detection. The injected one-way delay
-// is slept before the request is sent and again after the response arrives,
-// emulating link propagation per call — concurrent callers overlap their
-// delays instead of queueing behind each other.
-func (c *Client) Detect(frames [][]float64) (DetectResult, error) {
+// timedDo runs one request under the client's delay-emulation protocol: the
+// serial-mode lock (held across the whole call, sleeps included), the
+// injected one-way delay before the send and again after the response, and
+// the network-time measurement (wall clock minus the server's processing
+// time, clamped at zero). Detect and DetectBatch share it so the protocol
+// cannot drift between the per-window and batch paths.
+func (c *Client) timedDo(req *DetectRequest) (*DetectResponse, float64, error) {
 	if c.serial {
 		c.serialMu.Lock()
 		defer c.serialMu.Unlock()
@@ -473,20 +507,32 @@ func (c *Client) Detect(frames [][]float64) (DetectResult, error) {
 	if c.oneWay > 0 {
 		time.Sleep(c.oneWay)
 	}
-	resp, err := c.do(&DetectRequest{Op: OpDetect, Frames: frames})
+	resp, err := c.do(req)
 	if err != nil {
-		return DetectResult{}, err
+		return nil, 0, err
 	}
 	if c.oneWay > 0 {
 		time.Sleep(c.oneWay)
-	}
-	if resp.Err != "" {
-		return DetectResult{}, fmt.Errorf("transport: remote detection: %s", resp.Err)
 	}
 	wall := float64(time.Since(start)) / float64(time.Millisecond)
 	netMs := wall - resp.ProcMs
 	if netMs < 0 {
 		netMs = 0
+	}
+	return resp, netMs, nil
+}
+
+// Detect sends one window for remote detection. The injected one-way delay
+// is slept before the request is sent and again after the response arrives,
+// emulating link propagation per call — concurrent callers overlap their
+// delays instead of queueing behind each other.
+func (c *Client) Detect(frames [][]float64) (DetectResult, error) {
+	resp, netMs, err := c.timedDo(&DetectRequest{Op: OpDetect, Frames: frames})
+	if err != nil {
+		return DetectResult{}, err
+	}
+	if resp.Err != "" {
+		return DetectResult{}, fmt.Errorf("transport: remote detection: %s", resp.Err)
 	}
 	return DetectResult{
 		Verdict: resp.Verdict,
@@ -494,6 +540,40 @@ func (c *Client) Detect(frames [][]float64) (DetectResult, error) {
 		NetMs:   netMs,
 		E2EMs:   netMs + resp.ExecMs,
 	}, nil
+}
+
+// BatchResult is one remote batch detection as seen by the client. Network
+// time is measured once for the whole request (that is the point of
+// batching: one round trip for N windows); execution times come back per
+// window from the server's calibrated compute model.
+type BatchResult struct {
+	// Verdicts holds one verdict per requested window, in request order.
+	Verdicts []anomaly.Verdict
+	// ExecMsEach is the server-reported (simulated) execution time per
+	// window.
+	ExecMsEach []float64
+	// NetMs is the measured wall-clock time of the whole request minus the
+	// server's processing time: transport plus injected link delay, shared
+	// by every window in the batch.
+	NetMs float64
+}
+
+// DetectBatch ships a batch of windows in one request and returns all
+// verdicts — the wire form of the batched tensor engine. The injected
+// one-way delay is slept once per request, not per window.
+func (c *Client) DetectBatch(windows [][][]float64) (BatchResult, error) {
+	resp, netMs, err := c.timedDo(&DetectRequest{Op: OpDetectBatch, Windows: windows})
+	if err != nil {
+		return BatchResult{}, err
+	}
+	if resp.Err != "" {
+		return BatchResult{}, fmt.Errorf("transport: remote batch detection: %s", resp.Err)
+	}
+	if len(resp.Verdicts) != len(windows) || len(resp.ExecMsEach) != len(windows) {
+		return BatchResult{}, fmt.Errorf("transport: batch response carries %d verdicts / %d exec times for %d windows",
+			len(resp.Verdicts), len(resp.ExecMsEach), len(windows))
+	}
+	return BatchResult{Verdicts: resp.Verdicts, ExecMsEach: resp.ExecMsEach, NetMs: netMs}, nil
 }
 
 // FetchModel retrieves the server's shipped detector snapshot (the model-
@@ -557,6 +637,11 @@ func (p *Pool) pick() *Client {
 // Detect runs one detection on the next pooled connection.
 func (p *Pool) Detect(frames [][]float64) (DetectResult, error) {
 	return p.pick().Detect(frames)
+}
+
+// DetectBatch ships one batch on the next pooled connection.
+func (p *Pool) DetectBatch(windows [][][]float64) (BatchResult, error) {
+	return p.pick().DetectBatch(windows)
 }
 
 // FetchModel fetches the server's model snapshot over one pooled connection.
