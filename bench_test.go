@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -195,7 +196,7 @@ func BenchmarkAblationAlphaSweep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := hec.Evaluate(hec.Adaptive{Policy: pol}, sys.Precomputed(), a); err != nil {
+			if _, err := hec.Evaluate(context.Background(), hec.Adaptive{Policy: pol}, sys.Precomputed(), a); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -231,7 +232,7 @@ func benchmarkPrecompute(b *testing.B, opt hec.PrecomputeOptions) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hec.PrecomputeWith(sys.Deployment, sys.Extractor, sys.TestSamples, opt); err != nil {
+		if _, err := hec.PrecomputeWith(context.Background(), sys.Deployment, sys.Extractor, sys.TestSamples, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -246,7 +247,7 @@ func BenchmarkSchemeEvaluationSequential(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range schemes {
-			if _, err := hec.Evaluate(s, sys.Precomputed(), sys.Alpha); err != nil {
+			if _, err := hec.Evaluate(context.Background(), s, sys.Precomputed(), sys.Alpha); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -259,7 +260,7 @@ func BenchmarkSchemeEvaluationParallel(b *testing.B) {
 	schemes := hec.AllSchemes(sys.Policy)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hec.ParallelEvaluate(schemes, sys.Precomputed(), sys.Alpha); err != nil {
+		if _, err := hec.ParallelEvaluate(context.Background(), schemes, sys.Precomputed(), sys.Alpha); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,164 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/hec"
+)
+
+// Profile selects the scale of a build.
+type Profile int
+
+// The two build profiles.
+const (
+	// ProfileFull is the paper-faithful scale used by the benchmark
+	// harness: full splits, full epochs (DefaultUnivariateOptions /
+	// DefaultMultivariateOptions).
+	ProfileFull Profile = iota
+	// ProfileFast is the reduced scale used by tests and examples: smaller
+	// splits and fewer epochs, same structure (FastUnivariateOptions /
+	// FastMultivariateOptions).
+	ProfileFast
+)
+
+// buildConfig accumulates the functional options before Build dispatches
+// to a kind-specific backend.
+type buildConfig struct {
+	profile   Profile
+	seed      *int64
+	workers   int
+	batchSize int
+	topology  *hec.Topology
+	quantize  *bool
+	uniMods   []func(*UnivariateOptions)
+	multiMods []func(*MultivariateOptions)
+}
+
+// Option configures Build. Options apply in argument order on top of the
+// selected profile's defaults, with the kind-specific escape hatches
+// (WithUnivariate / WithMultivariate) running last so they can override
+// anything.
+type Option func(*buildConfig)
+
+// WithProfile selects the build scale; the default is ProfileFull.
+func WithProfile(p Profile) Option { return func(c *buildConfig) { c.profile = p } }
+
+// WithFast is shorthand for WithProfile(ProfileFast).
+func WithFast() Option { return WithProfile(ProfileFast) }
+
+// WithSeed pins the one seed that drives the whole build: dataset
+// generation, model initialisation and policy training all derive their
+// streams from it, so equal seeds build bit-identical systems.
+func WithSeed(seed int64) Option { return func(c *buildConfig) { c.seed = &seed } }
+
+// WithWorkers bounds the goroutines the build's precompute engine fans
+// detection out over. Values < 1 (the default) mean one worker per
+// available CPU; 1 forces the sequential path. The trained system is
+// identical at any worker count.
+func WithWorkers(n int) Option { return func(c *buildConfig) { c.workers = n } }
+
+// WithBatchSize sets how many samples the precompute engine stacks into
+// one vectorised detection call. Values < 1 (the default) pick
+// hec.DefaultPrecomputeBatch; outcomes are identical at any batch size —
+// this is purely a throughput knob.
+func WithBatchSize(n int) Option { return func(c *buildConfig) { c.batchSize = n } }
+
+// WithTopology overrides the HEC testbed model (device compute curves and
+// link latencies) the system is calibrated against.
+func WithTopology(t hec.Topology) Option { return func(c *buildConfig) { c.topology = &t } }
+
+// WithQuantize toggles FP16 compression of the IoT and edge models before
+// deployment (the paper's constrained-hardware step; default on).
+func WithQuantize(q bool) Option { return func(c *buildConfig) { c.quantize = &q } }
+
+// WithUnivariate applies fn to the assembled UnivariateOptions just before
+// the build runs — the escape hatch for knobs without a first-class
+// Option. fn is ignored for Multivariate builds.
+func WithUnivariate(fn func(*UnivariateOptions)) Option {
+	return func(c *buildConfig) { c.uniMods = append(c.uniMods, fn) }
+}
+
+// WithMultivariate applies fn to the assembled MultivariateOptions just
+// before the build runs; ignored for Univariate builds.
+func WithMultivariate(fn func(*MultivariateOptions)) Option {
+	return func(c *buildConfig) { c.multiMods = append(c.multiMods, fn) }
+}
+
+// engineOptions carries the build knobs that tune the evaluation engine
+// rather than the models; its zero value reproduces the historical
+// builder behaviour exactly.
+type engineOptions struct {
+	workers   int
+	batchSize int
+}
+
+func (e engineOptions) precompute() hec.PrecomputeOptions {
+	return hec.PrecomputeOptions{Workers: e.workers, BatchSize: e.batchSize}
+}
+
+// Build constructs a complete HEC anomaly-detection system of the given
+// kind: synthetic dataset, the three-tier detector suite, deployment over
+// the topology, REINFORCE policy training, and test-split precomputation.
+// It is the unified entry point replacing the BuildUnivariate /
+// BuildMultivariate pair:
+//
+//	sys, err := repro.Build(repro.Univariate, repro.WithFast(), repro.WithSeed(7))
+//
+// The returned System regenerates the paper's tables (ModelRows,
+// SchemeRows) and opens streaming detection sessions (Open).
+func Build(kind Kind, opts ...Option) (*System, error) {
+	return BuildContext(context.Background(), kind, opts...)
+}
+
+// override applies the kind-independent knobs onto the fields the two
+// option structs share, keeping the per-kind assembly below down to "pick
+// profile, override, run mods". Both structs wire the one seed into the
+// dataset and the model streams, like the hecbench -seed flag always did.
+func (c *buildConfig) override(seed, dataSeed *int64, topology *hec.Topology, quantize *bool) {
+	if c.seed != nil {
+		*seed = *c.seed
+		*dataSeed = *c.seed
+	}
+	if c.topology != nil {
+		*topology = *c.topology
+	}
+	if c.quantize != nil {
+		*quantize = *c.quantize
+	}
+}
+
+// BuildContext is Build with cancellation: a done ctx aborts the build at
+// the next stage boundary (between tier trainings, or inside either
+// precompute pass) and returns an error satisfying errors.Is against both
+// the repro taxonomy (ErrCanceled / ErrDeadline) and ctx.Err().
+func BuildContext(ctx context.Context, kind Kind, opts ...Option) (*System, error) {
+	var cfg buildConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	eng := engineOptions{workers: cfg.workers, batchSize: cfg.batchSize}
+	switch kind {
+	case Univariate:
+		opt := DefaultUnivariateOptions()
+		if cfg.profile == ProfileFast {
+			opt = FastUnivariateOptions()
+		}
+		cfg.override(&opt.Seed, &opt.Data.Seed, &opt.Topology, &opt.Quantize)
+		for _, fn := range cfg.uniMods {
+			fn(&opt)
+		}
+		return buildUnivariate(ctx, opt, eng)
+	case Multivariate:
+		opt := DefaultMultivariateOptions()
+		if cfg.profile == ProfileFast {
+			opt = FastMultivariateOptions()
+		}
+		cfg.override(&opt.Seed, &opt.Data.Seed, &opt.Topology, &opt.Quantize)
+		for _, fn := range cfg.multiMods {
+			fn(&opt)
+		}
+		return buildMultivariate(ctx, opt, eng)
+	default:
+		return nil, badInput("build", "unknown kind %v (want Univariate or Multivariate)", kind)
+	}
+}

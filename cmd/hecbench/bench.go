@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -148,7 +149,7 @@ func benchPrecompute(reps, samples, batch int) (BenchResult, error) {
 	}
 	run := func(bs int) func() error {
 		return func() error {
-			_, err := hec.PrecomputeWith(dep, nil, set, hec.PrecomputeOptions{Workers: 1, BatchSize: bs})
+			_, err := hec.PrecomputeWith(context.Background(), dep, nil, set, hec.PrecomputeOptions{Workers: 1, BatchSize: bs})
 			return err
 		}
 	}

@@ -88,33 +88,17 @@ func parseKinds(s string) ([]repro.Kind, error) {
 	}
 }
 
-// buildSystem builds one system of the given kind; seed 0 keeps the
-// defaults.
+// buildSystem builds one system of the given kind through the unified
+// builder; seed 0 keeps the profile defaults.
 func buildSystem(kind repro.Kind, fast bool, seed int64) (*repro.System, error) {
-	switch kind {
-	case repro.Univariate:
-		opt := repro.DefaultUnivariateOptions()
-		if fast {
-			opt = repro.FastUnivariateOptions()
-		}
-		if seed != 0 {
-			opt.Seed = seed
-			opt.Data.Seed = seed
-		}
-		return repro.BuildUnivariate(opt)
-	case repro.Multivariate:
-		opt := repro.DefaultMultivariateOptions()
-		if fast {
-			opt = repro.FastMultivariateOptions()
-		}
-		if seed != 0 {
-			opt.Seed = seed
-			opt.Data.Seed = seed
-		}
-		return repro.BuildMultivariate(opt)
-	default:
-		return nil, fmt.Errorf("unknown kind %v", kind)
+	var opts []repro.Option
+	if fast {
+		opts = append(opts, repro.WithFast())
 	}
+	if seed != 0 {
+		opts = append(opts, repro.WithSeed(seed))
+	}
+	return repro.Build(kind, opts...)
 }
 
 func run(kind repro.Kind, table string, fast bool, seed int64) error {

@@ -1,8 +1,10 @@
 // Command hecdemo is the terminal equivalent of the paper's GUI demo
-// (Fig. 3): it builds a system, then streams the result panel — per-sample
-// raw-signal summary, detection vs ground truth, delay and chosen layer,
-// and the running accuracy/F1 — for a user-selected scheme, with tunable
-// dataset fractions, exactly the knobs the GUI exposes.
+// (Fig. 3): it builds a system, opens a streaming detection Session, and
+// judges the test stream window by window — per-sample raw-signal summary,
+// detection vs ground truth, delay and chosen layer, and the running
+// accuracy/F1 — for a user-selected scheme, with tunable dataset
+// fractions, exactly the knobs the GUI exposes. ^C cancels the stream
+// mid-flight through the session's context.
 //
 // Usage:
 //
@@ -11,16 +13,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
 	"repro/internal/hec"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -33,96 +40,118 @@ func main() {
 		limit    = flag.Int("limit", 0, "stop after N samples (0 = all)")
 	)
 	flag.Parse()
-	if err := run(*data, *scheme, *rate, *fraction, *fast, *limit); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *data, *scheme, *rate, *fraction, *fast, *limit); err != nil {
 		fmt.Fprintln(os.Stderr, "hecdemo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, schemeName string, rate, fraction float64, fast bool, limit int) error {
-	fmt.Printf("building %s system...\n", data)
-	var sys *repro.System
-	var err error
+func run(ctx context.Context, data, schemeName string, rate, fraction float64, fast bool, limit int) error {
+	var kind repro.Kind
 	switch strings.ToLower(data) {
 	case "univariate", "uni":
-		opt := repro.DefaultUnivariateOptions()
-		if fast {
-			opt = repro.FastUnivariateOptions()
-		}
-		sys, err = repro.BuildUnivariate(opt)
+		kind = repro.Univariate
 	case "multivariate", "multi":
-		opt := repro.DefaultMultivariateOptions()
-		if fast {
-			opt = repro.FastMultivariateOptions()
-		}
-		sys, err = repro.BuildMultivariate(opt)
+		kind = repro.Multivariate
 	default:
 		return fmt.Errorf("unknown -data %q", data)
 	}
+	var opts []repro.Option
+	if fast {
+		opts = append(opts, repro.WithFast())
+	}
+	fmt.Printf("building %s system...\n", data)
+	sys, err := repro.BuildContext(ctx, kind, opts...)
 	if err != nil {
 		return err
 	}
 
-	var sch hec.Scheme
-	switch strings.ToLower(schemeName) {
-	case "iot":
-		sch = hec.Fixed{Layer: hec.LayerIoT}
-	case "edge":
-		sch = hec.Fixed{Layer: hec.LayerEdge}
-	case "cloud":
-		sch = hec.Fixed{Layer: hec.LayerCloud}
-	case "successive":
-		sch = hec.Successive{}
-	case "adaptive", "ours":
-		sch = hec.Adaptive{Policy: sys.Policy}
-	default:
-		return fmt.Errorf("unknown -scheme %q", schemeName)
+	if strings.EqualFold(schemeName, "ours") {
+		schemeName = "adaptive" // the paper's name for its own method
 	}
-
-	res, err := sys.ResultPanel(sch)
+	scheme, err := repro.ParseScheme(strings.ToLower(schemeName))
 	if err != nil {
 		return err
 	}
-	order := streamOrder(res, fraction)
+
+	// Open a streaming session and judge the stream online, window by
+	// window — the live form of the GUI demo. The default session serves
+	// every tier in-process with the calibrated delay model, so the
+	// numbers line up with Table II.
+	sess, err := sys.Open(scheme)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	labels := make([]bool, len(sys.TestSamples))
+	for i, s := range sys.TestSamples {
+		labels[i] = s.Label
+	}
+	order := streamOrder(labels, fraction)
 	if limit > 0 && limit < len(order) {
 		order = order[:limit]
 	}
 
-	fmt.Printf("\n=== %s | scheme: %s | %d samples ===\n", data, sch.Name(), len(order))
+	fmt.Printf("\n=== %s | scheme: %s | %d samples ===\n", data, scheme, len(order))
 	fmt.Printf("%-6s %-28s %-5s %-5s %-10s %-6s %-18s\n",
 		"i", "signal (min/mean/max)", "det", "truth", "delay(ms)", "layer", "cumulative acc/F1")
 	var pace time.Duration
 	if rate > 0 {
 		pace = time.Duration(float64(time.Second) / rate)
 	}
-	var conf cumulative
+	var (
+		conf        cumulative
+		delaySum    float64
+		layerCounts [hec.NumLayers]int
+		streamed    int
+	)
 	for n, i := range order {
+		det, err := sess.Detect(ctx, sys.TestSamples[i].Frames)
+		if errors.Is(err, repro.ErrCanceled) {
+			fmt.Println("\nstream cancelled")
+			break
+		}
+		if err != nil {
+			return err
+		}
+		truth := labels[i]
 		sig := signalSummary(sys.TestSamples[i].Frames)
-		conf.add(res.Predictions[i], res.Truths[i])
+		conf.add(det.Anomaly, truth)
+		delaySum += det.DelayMs
+		layerCounts[det.Layer]++
+		streamed++
 		marker := " "
-		if res.Predictions[i] != res.Truths[i] {
+		if det.Anomaly != truth {
 			marker = "✗"
 		}
 		fmt.Printf("%-6d %-28s %-5d %-5d %-10.1f %-6v acc=%.3f f1=%.3f %s\n",
-			n, sig, b2i(res.Predictions[i]), b2i(res.Truths[i]),
-			res.DelaysMs[i], res.Layers[i], conf.accuracy(), conf.f1(), marker)
-		if pace > 0 {
-			time.Sleep(pace)
+			n, sig, b2i(det.Anomaly), b2i(truth),
+			det.DelayMs, det.Layer, conf.accuracy(), conf.f1(), marker)
+		if pace > 0 && parallel.Sleep(ctx, pace) != nil {
+			fmt.Println("\nstream cancelled")
+			break
 		}
 	}
+	if streamed == 0 {
+		return nil
+	}
 	fmt.Printf("\nfinal: %d samples, accuracy %.4f, F1 %.4f, mean delay %.1f ms\n",
-		len(order), conf.accuracy(), conf.f1(), meanAt(res, order))
-	shares := res.LayerShares()
+		streamed, conf.accuracy(), conf.f1(), delaySum/float64(streamed))
 	fmt.Printf("layer shares: IoT %.2f / Edge %.2f / Cloud %.2f\n",
-		shares[hec.LayerIoT], shares[hec.LayerEdge], shares[hec.LayerCloud])
+		float64(layerCounts[hec.LayerIoT])/float64(streamed),
+		float64(layerCounts[hec.LayerEdge])/float64(streamed),
+		float64(layerCounts[hec.LayerCloud])/float64(streamed))
 	return nil
 }
 
 // streamOrder returns the indices to stream. With fraction in [0,1] it
 // resamples (with replacement) to approximate the requested anomaly share,
 // mimicking the GUI's normal/abnormal sliders; -1 keeps the natural split.
-func streamOrder(res *hec.Result, fraction float64) []int {
-	n := len(res.Truths)
+func streamOrder(labels []bool, fraction float64) []int {
+	n := len(labels)
 	if fraction < 0 || fraction > 1 {
 		order := make([]int, n)
 		for i := range order {
@@ -131,7 +160,7 @@ func streamOrder(res *hec.Result, fraction float64) []int {
 		return order
 	}
 	var anomalies, normals []int
-	for i, truth := range res.Truths {
+	for i, truth := range labels {
 		if truth {
 			anomalies = append(anomalies, i)
 		} else {
@@ -196,17 +225,6 @@ func (c *cumulative) f1() float64 {
 	p := float64(c.tp) / float64(c.tp+c.fp)
 	r := float64(c.tp) / float64(c.tp+c.fn)
 	return 2 * p * r / (p + r)
-}
-
-func meanAt(res *hec.Result, order []int) float64 {
-	if len(order) == 0 {
-		return 0
-	}
-	var s float64
-	for _, i := range order {
-		s += res.DelaysMs[i]
-	}
-	return s / float64(len(order))
 }
 
 func b2i(b bool) int {

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -28,6 +29,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/autoencoder"
@@ -85,7 +87,12 @@ func run(layerName, data, addr string, seed int64, save, load, fetch string) err
 		if err != nil {
 			return err
 		}
-		snap, err = cli.FetchModel()
+		// Bound the fetch so a wedged peer cannot hang node startup; the
+		// multi-megabyte cloud snapshot transfers on loopback or LAN well
+		// inside this budget.
+		fetchCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		snap, err = cli.FetchModelContext(fetchCtx)
+		cancel()
 		cli.Close()
 		if err != nil {
 			return fmt.Errorf("fetching model from %s: %w", fetch, err)

@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// The package's error taxonomy. Every error returned by the context-aware
+// surface (Build/BuildContext, Session.Detect/DetectBatch,
+// System.SchemeRowsContext) is a *Error; its Kind is the matching sentinel
+// below, or nil for the rare failure that fits none of them (an internal
+// invariant tripping mid-build). Callers branch with errors.Is instead of
+// string matching:
+//
+//	det, err := sess.Detect(ctx, frames)
+//	switch {
+//	case errors.Is(err, repro.ErrCanceled):  // caller gave up
+//	case errors.Is(err, repro.ErrDeadline):  // deadline tripped (locally or shed by the server)
+//	case errors.Is(err, repro.ErrRemote):    // a remote tier failed
+//	case errors.Is(err, repro.ErrBadInput):  // the API refused the request
+//	}
+//
+// The underlying cause is preserved too: for cancellation and deadlines,
+// errors.Is(err, context.Canceled) / errors.Is(err, context.DeadlineExceeded)
+// also hold, so code written against the standard context idiom needs no
+// repro-specific handling.
+var (
+	// ErrCanceled marks work abandoned because the caller's context was
+	// cancelled.
+	ErrCanceled = errors.New("repro: canceled")
+	// ErrDeadline marks work abandoned because the caller's deadline
+	// passed — whether the timer fired locally or the server shed the
+	// request on arrival (the wire header propagates the deadline).
+	ErrDeadline = errors.New("repro: deadline exceeded")
+	// ErrRemote marks a failure reported by, or on the way to, a remote
+	// tier: error responses and dropped connections. Deadline-driven
+	// remote refusals are the exception — a server shedding an expired
+	// request classifies as ErrDeadline (the caller's deadline is what
+	// tripped, the tier is healthy), per classify's precedence.
+	ErrRemote = errors.New("repro: remote failure")
+	// ErrBadInput marks a request the API itself refused to run: empty
+	// windows and batches, closed sessions, unknown schemes, invalid
+	// options and dataset configurations. Errors raised deeper in the
+	// stack (e.g. a detector rejecting a mis-shaped window) surface as a
+	// *Error with a nil Kind.
+	ErrBadInput = errors.New("repro: bad input")
+)
+
+// Error is the structured error returned by the public API. It pairs the
+// failing operation with a taxonomy Kind and the underlying cause, and
+// unwraps to both — errors.Is matches the sentinel and the root cause,
+// errors.As recovers the *Error itself.
+type Error struct {
+	// Op names the operation that failed, e.g. "detect" or "open session".
+	Op string
+	// Kind is the taxonomy sentinel (ErrCanceled, ErrDeadline, ErrRemote,
+	// ErrBadInput), or nil for failures outside the taxonomy.
+	Kind error
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("repro: %s: %v", e.Op, e.Err)
+}
+
+// Unwrap exposes the Kind sentinel and the underlying cause to
+// errors.Is/As traversal.
+func (e *Error) Unwrap() []error {
+	errs := make([]error, 0, 2)
+	if e.Kind != nil {
+		errs = append(errs, e.Kind)
+	}
+	if e.Err != nil {
+		errs = append(errs, e.Err)
+	}
+	return errs
+}
+
+// classify maps an underlying error onto the taxonomy. Cancellation beats
+// the remote marker: a ctx abandoned mid-RPC is the caller's decision, not
+// a tier failure, even though the transport was involved.
+func classify(err error) error {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return ErrCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ErrDeadline
+	case errors.Is(err, transport.ErrRemote):
+		return ErrRemote
+	default:
+		return nil
+	}
+}
+
+// wrapErr wraps an internal error into the public taxonomy; nil stays nil,
+// and an error that is already a *Error passes through (the innermost wrap
+// names the operation most precisely).
+func wrapErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var e *Error
+	if errors.As(err, &e) {
+		return err
+	}
+	return &Error{Op: op, Kind: classify(err), Err: err}
+}
+
+// badInput builds an ErrBadInput-kind *Error from a formatted message.
+func badInput(op, format string, args ...any) error {
+	return &Error{Op: op, Kind: ErrBadInput, Err: fmt.Errorf(format, args...)}
+}
+
+// badInputErr wraps an existing cause as ErrBadInput — for failures whose
+// root is a caller-supplied configuration (dataset parameters, topology).
+func badInputErr(op string, err error) error {
+	return &Error{Op: op, Kind: ErrBadInput, Err: err}
+}

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// TestErrorTaxonomyClassification maps underlying causes onto the four
+// sentinels, the way every public entry point does via wrapErr.
+func TestErrorTaxonomyClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		in   error
+		kind error
+	}{
+		{"canceled", fmt.Errorf("inner: %w", context.Canceled), ErrCanceled},
+		{"deadline", fmt.Errorf("inner: %w", context.DeadlineExceeded), ErrDeadline},
+		{"remote", fmt.Errorf("inner: %w", transport.ErrRemote), ErrRemote},
+		{"canceled mid-rpc beats remote", fmt.Errorf("%w (%w)", context.Canceled, transport.ErrRemote), ErrCanceled},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := wrapErr("op", tc.in)
+			if !errors.Is(err, tc.kind) {
+				t.Fatalf("wrapErr(%v) = %v, want kind %v", tc.in, err, tc.kind)
+			}
+			if !errors.Is(err, tc.in) {
+				t.Fatalf("wrapErr lost the underlying cause %v", tc.in)
+			}
+			var e *Error
+			if !errors.As(err, &e) {
+				t.Fatalf("wrapErr result %T is not a *Error", err)
+			}
+			if e.Op != "op" {
+				t.Fatalf("Op = %q", e.Op)
+			}
+		})
+	}
+}
+
+// TestErrorOutsideTaxonomy keeps unclassified failures unwrapped to any
+// sentinel but still a *Error with the cause reachable.
+func TestErrorOutsideTaxonomy(t *testing.T) {
+	cause := errors.New("disk on fire")
+	err := wrapErr("op", cause)
+	for _, sentinel := range []error{ErrCanceled, ErrDeadline, ErrRemote, ErrBadInput} {
+		if errors.Is(err, sentinel) {
+			t.Fatalf("unclassified error matched %v", sentinel)
+		}
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("cause lost")
+	}
+}
+
+// TestWrapErrIdempotent keeps the innermost operation label when wraps
+// stack across layers.
+func TestWrapErrIdempotent(t *testing.T) {
+	inner := wrapErr("detect", context.Canceled)
+	outer := wrapErr("detect batch", fmt.Errorf("outer: %w", inner))
+	var e *Error
+	if !errors.As(outer, &e) {
+		t.Fatalf("%T is not a *Error", outer)
+	}
+	if e.Op != "detect" {
+		t.Fatalf("Op = %q, want the innermost \"detect\"", e.Op)
+	}
+	if !errors.Is(outer, ErrCanceled) {
+		t.Fatal("kind lost through double wrap")
+	}
+}
+
+// TestWrapErrNil keeps nil nil.
+func TestWrapErrNil(t *testing.T) {
+	if wrapErr("op", nil) != nil {
+		t.Fatal("wrapErr(nil) != nil")
+	}
+}
+
+// TestBadInput pins the ErrBadInput constructor.
+func TestBadInput(t *testing.T) {
+	err := badInput("open session", "pool size %d < 1", 0)
+	if !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput", err)
+	}
+	if got := err.Error(); got != "repro: open session: pool size 0 < 1" {
+		t.Fatalf("message = %q", got)
+	}
+}

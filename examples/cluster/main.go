@@ -19,11 +19,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/anomaly"
@@ -48,12 +52,22 @@ func main() {
 		batch    = flag.Int("batch", 0, "windows shipped per request (<2 = per-window dispatch)")
 	)
 	flag.Parse()
-	if err := run(*devices, *rounds, *scale, *poolSize, *seed, *edgeAddr, *cloudAdr, *batch); err != nil {
+	// ^C cancels the context, which drains the device fleet promptly: each
+	// device stops at its next window and in-flight RPCs abort through the
+	// deadline-propagating transport.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, *devices, *rounds, *scale, *poolSize, *seed, *edgeAddr, *cloudAdr, *batch)
+	if errors.Is(err, context.Canceled) {
+		fmt.Println("\ninterrupted — device fleet drained")
+		return
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr string, batch int) error {
+func run(ctx context.Context, devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr string, batch int) error {
 	if scale < 1 {
 		scale = 1
 	}
@@ -115,7 +129,7 @@ func run(devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr s
 	for i, s := range ds.PolicyTrain {
 		policySamples[i] = hec.Sample{Frames: uniFrames(s.Values), Label: s.Label}
 	}
-	policyPC, err := hec.Precompute(dep, ext, policySamples)
+	policyPC, err := hec.Precompute(ctx, dep, ext, policySamples)
 	if err != nil {
 		return err
 	}
@@ -189,7 +203,7 @@ func run(devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr s
 	}
 	fmt.Println()
 	for _, scheme := range cluster.AllSchemes() {
-		st, err := cluster.Run(dev, testSamples, cluster.Config{
+		st, err := cluster.Run(ctx, dev, testSamples, cluster.Config{
 			Scheme:    scheme,
 			Devices:   devices,
 			Rounds:    rounds,

@@ -13,9 +13,10 @@ import (
 )
 
 func main() {
-	// The fast options keep pure-Go BPTT to a few seconds; raise Subjects /
-	// Epochs (or use DefaultMultivariateOptions) for the full-scale run.
-	sys, err := repro.BuildMultivariate(repro.FastMultivariateOptions())
+	// The fast profile keeps pure-Go BPTT to a few seconds; drop WithFast
+	// (or raise Subjects/Epochs via WithMultivariate) for the full-scale
+	// run.
+	sys, err := repro.Build(repro.Multivariate, repro.WithFast())
 	if err != nil {
 		log.Fatal(err)
 	}

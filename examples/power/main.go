@@ -14,11 +14,12 @@ import (
 )
 
 func main() {
-	opt := repro.FastUnivariateOptions()
-	// A denser test year makes the routing statistics readable.
-	opt.Data.TestWeeks = 104
-	opt.Data.PolicyWeeks = 104
-	sys, err := repro.BuildUnivariate(opt)
+	sys, err := repro.Build(repro.Univariate, repro.WithFast(),
+		// A denser test year makes the routing statistics readable.
+		repro.WithUnivariate(func(opt *repro.UnivariateOptions) {
+			opt.Data.TestWeeks = 104
+			opt.Data.PolicyWeeks = 104
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/anomaly"
@@ -23,7 +24,7 @@ import (
 // *transport.Client and *transport.Pool both satisfy it.
 type BatchRemote interface {
 	Remote
-	DetectBatch(windows [][][]float64) (transport.BatchResult, error)
+	DetectBatchContext(ctx context.Context, windows [][][]float64) (transport.BatchResult, error)
 }
 
 // detectBatchAt judges a batch of windows at one layer, returning per-window
@@ -31,10 +32,13 @@ type BatchRemote interface {
 // time of the dispatch (0 for local detection). Remotes that implement
 // BatchRemote get one request for the whole batch; plain Remotes fall back
 // to per-window calls (their network times sum).
-func (d *Device) detectBatchAt(l hec.Layer, windows [][][]float64) ([]anomaly.Verdict, []float64, float64, error) {
+func (d *Device) detectBatchAt(ctx context.Context, l hec.Layer, windows [][][]float64) ([]anomaly.Verdict, []float64, float64, error) {
 	if l == hec.LayerIoT {
 		if d.Local == nil {
 			return nil, nil, 0, fmt.Errorf("cluster: device has no local detector")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, fmt.Errorf("cluster: local batch detection abandoned: %w", err)
 		}
 		vs, err := anomaly.DetectAll(d.Local, windows)
 		if err != nil {
@@ -56,7 +60,7 @@ func (d *Device) detectBatchAt(l hec.Layer, windows [][][]float64) ([]anomaly.Ve
 		return nil, nil, 0, fmt.Errorf("cluster: no connection to layer %v", l)
 	}
 	if br, ok := r.(BatchRemote); ok {
-		res, err := br.DetectBatch(windows)
+		res, err := br.DetectBatchContext(ctx, windows)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("cluster: batch detection at %v: %w", l, err)
 		}
@@ -66,7 +70,7 @@ func (d *Device) detectBatchAt(l hec.Layer, windows [][][]float64) ([]anomaly.Ve
 	execEach := make([]float64, len(windows))
 	var netMs float64
 	for i, w := range windows {
-		res, err := r.Detect(w)
+		res, err := r.DetectContext(ctx, w)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("cluster: detection at %v: %w", l, err)
 		}
@@ -79,8 +83,8 @@ func (d *Device) detectBatchAt(l hec.Layer, windows [][][]float64) ([]anomaly.Ve
 
 // fixedBatch dispatches the whole batch to one layer and builds per-window
 // outcomes with the batch's network time shared evenly.
-func (d *Device) fixedBatch(l hec.Layer, windows [][][]float64) ([]Outcome, error) {
-	vs, execEach, netMs, err := d.detectBatchAt(l, windows)
+func (d *Device) fixedBatch(ctx context.Context, l hec.Layer, windows [][][]float64) ([]Outcome, error) {
+	vs, execEach, netMs, err := d.detectBatchAt(ctx, l, windows)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +107,7 @@ func (d *Device) fixedBatch(l hec.Layer, windows [][][]float64) ([]Outcome, erro
 // unconfident remainder one batch to the cloud. Each window accumulates the
 // execution time of every layer it tried plus its share of every batch it
 // rode — the staged form of the per-window Successive rule.
-func (d *Device) successiveBatch(windows [][][]float64) ([]Outcome, error) {
+func (d *Device) successiveBatch(ctx context.Context, windows [][][]float64) ([]Outcome, error) {
 	outs := make([]Outcome, len(windows))
 	active := make([]int, len(windows))
 	for i := range active {
@@ -114,7 +118,7 @@ func (d *Device) successiveBatch(windows [][][]float64) ([]Outcome, error) {
 		for k, i := range active {
 			sub[k] = windows[i]
 		}
-		vs, execEach, netMs, err := d.detectBatchAt(l, sub)
+		vs, execEach, netMs, err := d.detectBatchAt(ctx, l, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -140,7 +144,7 @@ func (d *Device) successiveBatch(windows [][][]float64) ([]Outcome, error) {
 // for Adaptive, least for Pathological), groups the windows per layer, and
 // ships one batch per group. Policy overhead is charged per window, as in
 // the per-window schemes.
-func (d *Device) policyBatch(windows [][][]float64, worst bool) ([]Outcome, error) {
+func (d *Device) policyBatch(ctx context.Context, windows [][][]float64, worst bool) ([]Outcome, error) {
 	var groups [hec.NumLayers][]int
 	for i, w := range windows {
 		l, err := d.policyLayer(w, worst)
@@ -158,7 +162,7 @@ func (d *Device) policyBatch(windows [][][]float64, worst bool) ([]Outcome, erro
 		for k, i := range idxs {
 			sub[k] = windows[i]
 		}
-		got, err := d.fixedBatch(hec.Layer(l), sub)
+		got, err := d.fixedBatch(ctx, hec.Layer(l), sub)
 		if err != nil {
 			return nil, err
 		}
@@ -173,27 +177,28 @@ func (d *Device) policyBatch(windows [][][]float64, worst bool) ([]Outcome, erro
 // RunBatch dispatches a batch of windows under the given scheme, returning
 // one outcome per window in input order. It is the batched counterpart of
 // Run: same verdicts, same layer choices, with network time amortised over
-// each dispatched batch.
-func (d *Device) RunBatch(s Scheme, windows [][][]float64) ([]Outcome, error) {
+// each dispatched batch. ctx follows Run's contract, covering every staged
+// dispatch the batch performs.
+func (d *Device) RunBatch(ctx context.Context, s Scheme, windows [][][]float64) ([]Outcome, error) {
 	if len(windows) == 0 {
 		return nil, nil
 	}
 	switch s {
 	case SchemeIoT:
-		return d.fixedBatch(hec.LayerIoT, windows)
+		return d.fixedBatch(ctx, hec.LayerIoT, windows)
 	case SchemeEdge:
-		return d.fixedBatch(hec.LayerEdge, windows)
+		return d.fixedBatch(ctx, hec.LayerEdge, windows)
 	case SchemeCloud:
-		return d.fixedBatch(hec.LayerCloud, windows)
+		return d.fixedBatch(ctx, hec.LayerCloud, windows)
 	case SchemeSuccessive:
-		return d.successiveBatch(windows)
+		return d.successiveBatch(ctx, windows)
 	case SchemeAdaptive:
-		return d.policyBatch(windows, false)
+		return d.policyBatch(ctx, windows, false)
 	case SchemePathological:
 		if d.Policy == nil || d.Extractor == nil {
 			// Mirror Pathological's no-policy fallback: always-cloud, still
 			// paying the policy overhead it is benchmarked against.
-			outs, err := d.fixedBatch(hec.LayerCloud, windows)
+			outs, err := d.fixedBatch(ctx, hec.LayerCloud, windows)
 			if err != nil {
 				return nil, err
 			}
@@ -202,7 +207,7 @@ func (d *Device) RunBatch(s Scheme, windows [][][]float64) ([]Outcome, error) {
 			}
 			return outs, nil
 		}
-		return d.policyBatch(windows, true)
+		return d.policyBatch(ctx, windows, true)
 	default:
 		return nil, fmt.Errorf("cluster: unknown scheme %d", int(s))
 	}

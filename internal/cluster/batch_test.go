@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"sync/atomic"
 	"testing"
@@ -17,7 +18,7 @@ type stubBatchRemote struct {
 	batchCalls atomic.Int64
 }
 
-func (r *stubBatchRemote) DetectBatch(windows [][][]float64) (transport.BatchResult, error) {
+func (r *stubBatchRemote) DetectBatchContext(_ context.Context, windows [][][]float64) (transport.BatchResult, error) {
 	r.batchCalls.Add(1)
 	if r.err != nil {
 		return transport.BatchResult{}, r.err
@@ -44,7 +45,7 @@ func TestRunBatchFixedSharesNetworkTime(t *testing.T) {
 	edge := &stubBatchRemote{stubRemote: stubRemote{verdict: confident(true), execMs: 5, netMs: 12}}
 	dev := testDevice(confident(false), nil, nil)
 	dev.Remotes[hec.LayerEdge] = edge
-	outs, err := dev.RunBatch(SchemeEdge, windowsN(4))
+	outs, err := dev.RunBatch(context.Background(), SchemeEdge, windowsN(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRunBatchSuccessiveEscalatesOnlyUnconfident(t *testing.T) {
 	dev := testDevice(unconfident(), nil, nil)
 	dev.Remotes[hec.LayerEdge] = edge
 	dev.Remotes[hec.LayerCloud] = cloud
-	outs, err := dev.RunBatch(SchemeSuccessive, windowsN(3))
+	outs, err := dev.RunBatch(context.Background(), SchemeSuccessive, windowsN(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestRunBatchSuccessiveEscalatesOnlyUnconfident(t *testing.T) {
 	// A confident local verdict must never leave the device.
 	devLocal := testDevice(confident(false), nil, nil)
 	devLocal.Remotes[hec.LayerEdge] = edge
-	outs, err = devLocal.RunBatch(SchemeSuccessive, windowsN(2))
+	outs, err = devLocal.RunBatch(context.Background(), SchemeSuccessive, windowsN(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestRunBatchAdaptiveGroupsByPolicyLayer(t *testing.T) {
 	dev := testDevice(confident(false), nil, nil)
 	dev.Remotes[hec.LayerEdge] = edge
 	dev.Remotes[hec.LayerCloud] = cloud
-	outs, err := dev.RunBatch(SchemeAdaptive, windowsN(4))
+	outs, err := dev.RunBatch(context.Background(), SchemeAdaptive, windowsN(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestRunBatchAdaptiveGroupsByPolicyLayer(t *testing.T) {
 	}
 
 	// Pathological routes to the least preferred layer (IoT at prob 0.1).
-	outs, err = dev.RunBatch(SchemePathological, windowsN(2))
+	outs, err = dev.RunBatch(context.Background(), SchemePathological, windowsN(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRunBatchAdaptiveGroupsByPolicyLayer(t *testing.T) {
 func TestRunBatchFallsBackToPerWindowRemote(t *testing.T) {
 	edge := &stubRemote{verdict: confident(true), execMs: 5, netMs: 7}
 	dev := testDevice(confident(false), edge, nil)
-	outs, err := dev.RunBatch(SchemeEdge, windowsN(3))
+	outs, err := dev.RunBatch(context.Background(), SchemeEdge, windowsN(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestRunBatchFallsBackToPerWindowRemote(t *testing.T) {
 			t.Fatalf("window %d accounting %+v", i, out)
 		}
 	}
-	if outs, err := dev.RunBatch(SchemeEdge, nil); err != nil || outs != nil {
+	if outs, err := dev.RunBatch(context.Background(), SchemeEdge, nil); err != nil || outs != nil {
 		t.Fatalf("empty batch: (%v, %v)", outs, err)
 	}
 }
@@ -179,11 +180,11 @@ func TestLoadGeneratorBatchMode(t *testing.T) {
 	for i := range samples {
 		samples[i] = hec.Sample{Frames: window, Label: i%2 == 0}
 	}
-	batched, err := Run(mkDev(), samples, Config{Scheme: SchemeEdge, Devices: 3, Alpha: 5e-4, BatchSize: 8})
+	batched, err := Run(context.Background(), mkDev(), samples, Config{Scheme: SchemeEdge, Devices: 3, Alpha: 5e-4, BatchSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	perWindow, err := Run(mkDev(), samples, Config{Scheme: SchemeEdge, Devices: 3, Alpha: 5e-4})
+	perWindow, err := Run(context.Background(), mkDev(), samples, Config{Scheme: SchemeEdge, Devices: 3, Alpha: 5e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,11 +221,11 @@ func TestDeviceBatchOverLiveTransport(t *testing.T) {
 
 	dev := testDevice(unconfident(), nil, nil)
 	dev.Remotes[hec.LayerEdge] = cli
-	outs, err := dev.RunBatch(SchemeEdge, windowsN(5))
+	outs, err := dev.RunBatch(context.Background(), SchemeEdge, windowsN(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := dev.Run(SchemeEdge, window)
+	single, err := dev.Run(context.Background(), SchemeEdge, window)
 	if err != nil {
 		t.Fatal(err)
 	}

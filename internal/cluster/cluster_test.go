@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -30,7 +31,7 @@ type stubRemote struct {
 	calls   atomic.Int64
 }
 
-func (r *stubRemote) Detect([][]float64) (transport.DetectResult, error) {
+func (r *stubRemote) DetectContext(context.Context, [][]float64) (transport.DetectResult, error) {
 	r.calls.Add(1)
 	if r.err != nil {
 		return transport.DetectResult{}, r.err
@@ -77,7 +78,7 @@ func TestFixedDelayAccounting(t *testing.T) {
 	edge := &stubRemote{verdict: confident(true), execMs: 5, netMs: 7}
 	dev := testDevice(confident(false), edge, nil)
 
-	out, err := dev.Fixed(hec.LayerIoT, window)
+	out, err := dev.Fixed(context.Background(), hec.LayerIoT, window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFixedDelayAccounting(t *testing.T) {
 		t.Fatalf("local outcome = %+v, want exec-only 3 ms at IoT", out)
 	}
 
-	out, err = dev.Fixed(hec.LayerEdge, window)
+	out, err = dev.Fixed(context.Background(), hec.LayerEdge, window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestSuccessiveCloudPathCountsEveryLayer(t *testing.T) {
 	cloud := &stubRemote{verdict: confident(true), execMs: 2, netMs: 11}
 	dev := testDevice(unconfident(), edge, cloud)
 
-	out, err := dev.Successive(window)
+	out, err := dev.Successive(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSuccessiveStopsAtConfidentEdge(t *testing.T) {
 	cloud := &stubRemote{verdict: confident(true), execMs: 2, netMs: 11}
 	dev := testDevice(unconfident(), edge, cloud)
 
-	out, err := dev.Successive(window)
+	out, err := dev.Successive(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestSuccessiveStopsAtConfidentEdge(t *testing.T) {
 func TestSuccessiveConfidentLocalStaysLocal(t *testing.T) {
 	edge := &stubRemote{verdict: confident(true), execMs: 5, netMs: 7}
 	dev := testDevice(confident(true), edge, nil)
-	out, err := dev.Successive(window)
+	out, err := dev.Successive(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestAdaptiveFollowsPolicy(t *testing.T) {
 	cloud := &stubRemote{verdict: confident(true), execMs: 2, netMs: 11}
 	dev := testDevice(confident(false), edge, cloud) // policy prefers edge (0.7)
 
-	out, err := dev.Adaptive(window)
+	out, err := dev.Adaptive(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestPathologicalPicksLeastPreferred(t *testing.T) {
 	cloud := &stubRemote{verdict: confident(true), execMs: 2, netMs: 11}
 	dev := testDevice(confident(false), edge, cloud) // policy argmin is IoT (0.1)
 
-	out, err := dev.Pathological(window)
+	out, err := dev.Pathological(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestPathologicalPicksLeastPreferred(t *testing.T) {
 
 	// Without a policy it degrades to always-cloud.
 	dev.Policy = nil
-	out, err = dev.Pathological(window)
+	out, err = dev.Pathological(context.Background(), window)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,20 +204,20 @@ func TestPathologicalPicksLeastPreferred(t *testing.T) {
 func TestPolicyActionOutOfRange(t *testing.T) {
 	dev := testDevice(confident(false), &stubRemote{}, &stubRemote{})
 	dev.Policy = stubPolicy{probs: []float64{0.1, 0.1, 0.1, 0.7}}
-	if _, err := dev.Adaptive(window); err == nil {
+	if _, err := dev.Adaptive(context.Background(), window); err == nil {
 		t.Fatal("action beyond NumLayers must be rejected")
 	}
 }
 
 func TestDeviceMissingPieces(t *testing.T) {
 	dev := &Device{}
-	if _, err := dev.Fixed(hec.LayerIoT, window); err == nil {
+	if _, err := dev.Fixed(context.Background(), hec.LayerIoT, window); err == nil {
 		t.Fatal("missing local detector must error")
 	}
-	if _, err := dev.Fixed(hec.LayerEdge, window); err == nil {
+	if _, err := dev.Fixed(context.Background(), hec.LayerEdge, window); err == nil {
 		t.Fatal("missing remote must error")
 	}
-	if _, err := dev.Adaptive(window); err == nil {
+	if _, err := dev.Adaptive(context.Background(), window); err == nil {
 		t.Fatal("missing policy must error")
 	}
 }
@@ -243,7 +244,7 @@ func TestLoadGeneratorAggregates(t *testing.T) {
 		samples[i] = hec.Sample{Frames: window, Label: i%2 == 0}
 	}
 
-	st, err := Run(dev, samples, Config{Scheme: SchemeAdaptive, Devices: 8, Rounds: 2, Alpha: 5e-4})
+	st, err := Run(context.Background(), dev, samples, Config{Scheme: SchemeAdaptive, Devices: 8, Rounds: 2, Alpha: 5e-4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,13 +274,13 @@ func TestLoadGeneratorPropagatesErrors(t *testing.T) {
 	edge := &stubRemote{err: fmt.Errorf("edge down")}
 	dev := testDevice(confident(true), edge, nil)
 	samples := []hec.Sample{{Frames: window}}
-	if _, err := Run(dev, samples, Config{Scheme: SchemeEdge, Devices: 4}); err == nil {
+	if _, err := Run(context.Background(), dev, samples, Config{Scheme: SchemeEdge, Devices: 4}); err == nil {
 		t.Fatal("remote failure must abort the run")
 	}
-	if _, err := Run(dev, nil, Config{Scheme: SchemeEdge}); err == nil {
+	if _, err := Run(context.Background(), dev, nil, Config{Scheme: SchemeEdge}); err == nil {
 		t.Fatal("empty sample set must be rejected")
 	}
-	if _, err := Run(nil, samples, Config{}); err == nil {
+	if _, err := Run(context.Background(), nil, samples, Config{}); err == nil {
 		t.Fatal("nil device must be rejected")
 	}
 }

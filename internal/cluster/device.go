@@ -16,6 +16,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/anomaly"
@@ -25,9 +26,11 @@ import (
 )
 
 // Remote is a connection to one remote layer's detection service.
-// *transport.Client and *transport.Pool both satisfy it.
+// *transport.Client and *transport.Pool both satisfy it. The context
+// carries cancellation and the deadline that transport propagates on the
+// wire so overloaded tiers can shed expired work.
 type Remote interface {
-	Detect(frames [][]float64) (transport.DetectResult, error)
+	DetectContext(ctx context.Context, frames [][]float64) (transport.DetectResult, error)
 }
 
 // PolicySource yields the action distribution π(·|z) for a context; it is
@@ -142,11 +145,16 @@ type Outcome struct {
 }
 
 // detectAt runs one detection at a single layer, returning the verdict with
-// the layer's simulated execution time and measured network time.
-func (d *Device) detectAt(l hec.Layer, frames [][]float64) (anomaly.Verdict, float64, float64, error) {
+// the layer's simulated execution time and measured network time. ctx is
+// checked before local detection and handed to remotes, whose transport
+// honours it during delays and response waits.
+func (d *Device) detectAt(ctx context.Context, l hec.Layer, frames [][]float64) (anomaly.Verdict, float64, float64, error) {
 	if l == hec.LayerIoT {
 		if d.Local == nil {
 			return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: device has no local detector")
+		}
+		if err := ctx.Err(); err != nil {
+			return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: local detection abandoned: %w", err)
 		}
 		v, err := d.Local.Detect(frames)
 		if err != nil {
@@ -165,7 +173,7 @@ func (d *Device) detectAt(l hec.Layer, frames [][]float64) (anomaly.Verdict, flo
 	if r == nil {
 		return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: no connection to layer %v", l)
 	}
-	res, err := r.Detect(frames)
+	res, err := r.DetectContext(ctx, frames)
 	if err != nil {
 		return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: detection at %v: %w", l, err)
 	}
@@ -173,8 +181,8 @@ func (d *Device) detectAt(l hec.Layer, frames [][]float64) (anomaly.Verdict, flo
 }
 
 // Fixed detects at exactly one layer (the paper's IoT/Edge/Cloud baselines).
-func (d *Device) Fixed(l hec.Layer, frames [][]float64) (Outcome, error) {
-	v, exec, netMs, err := d.detectAt(l, frames)
+func (d *Device) Fixed(ctx context.Context, l hec.Layer, frames [][]float64) (Outcome, error) {
+	v, exec, netMs, err := d.detectAt(ctx, l, frames)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -185,11 +193,12 @@ func (d *Device) Fixed(l hec.Layer, frames [][]float64) (Outcome, error) {
 // then escalate to the edge and then the cloud until a confident verdict.
 // The delay accumulates the (simulated) execution time of every layer tried
 // plus the (measured) network time of every offload — in particular the
-// cloud path still pays for the edge attempt.
-func (d *Device) Successive(frames [][]float64) (Outcome, error) {
+// cloud path still pays for the edge attempt. A ctx cancelled mid-ladder
+// aborts before the next escalation.
+func (d *Device) Successive(ctx context.Context, frames [][]float64) (Outcome, error) {
 	var execSum, netSum float64
 	for l := hec.Layer(0); l < hec.NumLayers; l++ {
-		v, exec, netMs, err := d.detectAt(l, frames)
+		v, exec, netMs, err := d.detectAt(ctx, l, frames)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -234,12 +243,12 @@ func (d *Device) policyLayer(frames [][]float64, worst bool) (hec.Layer, error) 
 // Adaptive is the paper's proposed scheme live: the trained policy picks the
 // layer, the device dispatches there, and the policy's own execution cost is
 // charged to the delay.
-func (d *Device) Adaptive(frames [][]float64) (Outcome, error) {
+func (d *Device) Adaptive(ctx context.Context, frames [][]float64) (Outcome, error) {
 	l, err := d.policyLayer(frames, false)
 	if err != nil {
 		return Outcome{}, err
 	}
-	out, err := d.Fixed(l, frames)
+	out, err := d.Fixed(ctx, l, frames)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -251,7 +260,7 @@ func (d *Device) Adaptive(frames [][]float64) (Outcome, error) {
 // overhead as Adaptive but routes every window to the policy's least-
 // preferred layer (or always the cloud without a policy). A healthy live
 // metrics pipeline must show it losing to Adaptive on delay and reward.
-func (d *Device) Pathological(frames [][]float64) (Outcome, error) {
+func (d *Device) Pathological(ctx context.Context, frames [][]float64) (Outcome, error) {
 	l := hec.LayerCloud
 	if d.Policy != nil && d.Extractor != nil {
 		var err error
@@ -260,7 +269,7 @@ func (d *Device) Pathological(frames [][]float64) (Outcome, error) {
 			return Outcome{}, err
 		}
 	}
-	out, err := d.Fixed(l, frames)
+	out, err := d.Fixed(ctx, l, frames)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -268,21 +277,23 @@ func (d *Device) Pathological(frames [][]float64) (Outcome, error) {
 	return out, nil
 }
 
-// Run dispatches one window under the given scheme.
-func (d *Device) Run(s Scheme, frames [][]float64) (Outcome, error) {
+// Run dispatches one window under the given scheme. Cancelling ctx aborts
+// the dispatch (including remote waits and injected link delays) with an
+// error satisfying errors.Is(err, ctx.Err()).
+func (d *Device) Run(ctx context.Context, s Scheme, frames [][]float64) (Outcome, error) {
 	switch s {
 	case SchemeIoT:
-		return d.Fixed(hec.LayerIoT, frames)
+		return d.Fixed(ctx, hec.LayerIoT, frames)
 	case SchemeEdge:
-		return d.Fixed(hec.LayerEdge, frames)
+		return d.Fixed(ctx, hec.LayerEdge, frames)
 	case SchemeCloud:
-		return d.Fixed(hec.LayerCloud, frames)
+		return d.Fixed(ctx, hec.LayerCloud, frames)
 	case SchemeSuccessive:
-		return d.Successive(frames)
+		return d.Successive(ctx, frames)
 	case SchemeAdaptive:
-		return d.Adaptive(frames)
+		return d.Adaptive(ctx, frames)
 	case SchemePathological:
-		return d.Pathological(frames)
+		return d.Pathological(ctx, frames)
 	default:
 		return Outcome{}, fmt.Errorf("cluster: unknown scheme %d", int(s))
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -79,7 +80,7 @@ func TestLiveClusterIntegration(t *testing.T) {
 	for i, s := range ds.PolicyTrain {
 		policySamples[i] = hec.Sample{Frames: frames(s.Values), Label: s.Label}
 	}
-	pc, err := hec.Precompute(dep, ext, policySamples)
+	pc, err := hec.Precompute(context.Background(), dep, ext, policySamples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestLiveClusterIntegration(t *testing.T) {
 	}
 
 	runScheme := func(s Scheme) *Stats {
-		st, err := Run(dev, testSamples, Config{Scheme: s, Devices: devices, Alpha: alphaLive})
+		st, err := Run(context.Background(), dev, testSamples, Config{Scheme: s, Devices: devices, Alpha: alphaLive})
 		if err != nil {
 			t.Fatalf("live %v run: %v", s, err)
 		}

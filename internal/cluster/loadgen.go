@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,14 +97,17 @@ type workerStats struct {
 // devices and aggregates live metrics. Every device makes cfg.Rounds passes
 // over the full sample set, starting at a device-specific offset so the
 // devices hit different layers at any instant; a detection error aborts the
-// whole run.
-func Run(dev *Device, samples []hec.Sample, cfg Config) (*Stats, error) {
+// whole run. Cancelling ctx drains the device goroutines promptly (each
+// stops at its next window, and in-flight remote waits abort through the
+// transport) and Run returns ctx's error.
+func Run(ctx context.Context, dev *Device, samples []hec.Sample, cfg Config) (*Stats, error) {
 	if dev == nil {
 		return nil, fmt.Errorf("cluster: load generation needs a device")
 	}
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("cluster: load generation needs samples")
 	}
+	done := ctx.Done()
 	devices := cfg.Devices
 	if devices < 1 {
 		devices = 1
@@ -114,8 +118,9 @@ func Run(dev *Device, samples []hec.Sample, cfg Config) (*Stats, error) {
 	}
 
 	start := time.Now()
-	// parallel.Map with workers == n runs every device on its own goroutine.
-	perWorker, err := parallel.Map(devices, devices, func(w int) (*workerStats, error) {
+	// parallel.MapCtx with workers == n runs every device on its own
+	// goroutine; ctx stops the fleet between windows.
+	perWorker, err := parallel.MapCtx(ctx, devices, devices, func(w int) (*workerStats, error) {
 		ws := &workerStats{}
 		offset := w * len(samples) / devices
 		account := func(out Outcome, label bool) {
@@ -140,7 +145,7 @@ func Run(dev *Device, samples []hec.Sample, cfg Config) (*Stats, error) {
 						windows[j] = s.Frames
 						labels[j] = s.Label
 					}
-					outs, err := dev.RunBatch(cfg.Scheme, windows)
+					outs, err := dev.RunBatch(ctx, cfg.Scheme, windows)
 					if err != nil {
 						return nil, fmt.Errorf("cluster: device %d batch at %d: %w", w, k, err)
 					}
@@ -151,8 +156,13 @@ func Run(dev *Device, samples []hec.Sample, cfg Config) (*Stats, error) {
 				continue
 			}
 			for k := range samples {
+				select {
+				case <-done:
+					return nil, ctx.Err()
+				default:
+				}
 				s := samples[(offset+k)%len(samples)]
-				out, err := dev.Run(cfg.Scheme, s.Frames)
+				out, err := dev.Run(ctx, cfg.Scheme, s.Frames)
 				if err != nil {
 					return nil, fmt.Errorf("cluster: device %d window %d: %w", w, k, err)
 				}

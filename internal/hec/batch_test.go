@@ -1,6 +1,7 @@
 package hec
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -69,7 +70,7 @@ func aeDeployment(t *testing.T) (*Deployment, []Sample) {
 // inside the 1e-9 budget — must hold).
 func TestPrecomputeBatchedMatchesPerSample(t *testing.T) {
 	dep, samples := aeDeployment(t)
-	perSample, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1, BatchSize: 1})
+	perSample, err := PrecomputeWith(context.Background(), dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1, BatchSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestPrecomputeBatchedMatchesPerSample(t *testing.T) {
 		{Workers: 0, BatchSize: 0}, // the defaults: batched, all CPUs
 		{Workers: 3, BatchSize: 7}, // ragged chunks
 	} {
-		batched, err := PrecomputeWith(dep, constExtractor{}, samples, opt)
+		batched, err := PrecomputeWith(context.Background(), dep, constExtractor{}, samples, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,11 +111,11 @@ func TestPrecomputeBatchedMatchesPerSample(t *testing.T) {
 func TestPrecomputeBatchSizeOneMatchesLegacyPath(t *testing.T) {
 	dep := testDeployment(t)
 	samples := manySamples(100)
-	a, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1, BatchSize: 1})
+	a, err := PrecomputeWith(context.Background(), dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1, BatchSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: 4, BatchSize: 16})
+	b, err := PrecomputeWith(context.Background(), dep, constExtractor{}, samples, PrecomputeOptions{Workers: 4, BatchSize: 16})
 	if err != nil {
 		t.Fatal(err)
 	}

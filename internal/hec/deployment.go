@@ -1,6 +1,7 @@
 package hec
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/anomaly"
@@ -124,8 +125,12 @@ type PrecomputeOptions struct {
 // batches out across one worker per available CPU. ext may be nil when no
 // adaptive scheme will be used. Use PrecomputeWith to control the worker
 // count and batch size.
-func Precompute(dep *Deployment, ext features.Extractor, samples []Sample) (*Precomputed, error) {
-	return PrecomputeWith(dep, ext, samples, PrecomputeOptions{})
+//
+// Cancelling ctx stops the engine between detection batches (and between
+// layers within a batch): the call returns promptly with ctx.Err() and no
+// partial result.
+func Precompute(ctx context.Context, dep *Deployment, ext features.Extractor, samples []Sample) (*Precomputed, error) {
+	return PrecomputeWith(ctx, dep, ext, samples, PrecomputeOptions{})
 }
 
 // PrecomputeWith is Precompute with explicit options.
@@ -135,7 +140,7 @@ func Precompute(dep *Deployment, ext features.Extractor, samples []Sample) (*Pre
 // of samples and writes only that chunk's Outcomes / Contexts, and the
 // result is identical to the sequential path (Workers: 1) for any worker
 // count and any batch size.
-func PrecomputeWith(dep *Deployment, ext features.Extractor, samples []Sample, opt PrecomputeOptions) (*Precomputed, error) {
+func PrecomputeWith(ctx context.Context, dep *Deployment, ext features.Extractor, samples []Sample, opt PrecomputeOptions) (*Precomputed, error) {
 	pc := &Precomputed{
 		Samples:          samples,
 		Outcomes:         make([][NumLayers]Outcome, len(samples)),
@@ -165,7 +170,7 @@ func PrecomputeWith(dep *Deployment, ext features.Extractor, samples []Sample, o
 		}
 	}
 	chunks := (len(samples) + bs - 1) / bs
-	err := parallel.ForEach(opt.Workers, chunks, func(ci int) error {
+	err := parallel.ForEachCtx(ctx, opt.Workers, chunks, func(ci int) error {
 		lo := ci * bs
 		hi := lo + bs
 		if hi > len(samples) {
@@ -176,6 +181,12 @@ func PrecomputeWith(dep *Deployment, ext features.Extractor, samples []Sample, o
 			windows[k] = samples[lo+k].Frames
 		}
 		for l := Layer(0); l < NumLayers; l++ {
+			// Also honour cancellation between the three per-layer passes of a
+			// chunk, so a slow detector does not stretch the shutdown latency
+			// to a whole chunk's worth of work.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			vs, err := anomaly.DetectAll(dep.Detectors[l], windows)
 			if err != nil {
 				return fmt.Errorf("hec: precompute samples %d-%d layer %v: %w", lo, hi-1, l, err)

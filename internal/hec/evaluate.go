@@ -1,6 +1,7 @@
 package hec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -52,13 +53,20 @@ func (r *Result) LayerShares() [NumLayers]float64 {
 
 // Evaluate runs a scheme over the precomputed sample set. alpha is the
 // dataset's delay-cost weight (5e-4 univariate, 3.5e-4 multivariate).
-func Evaluate(s Scheme, pc *Precomputed, alpha float64) (*Result, error) {
+// Cancelling ctx aborts the replay loop between samples with ctx.Err().
+func Evaluate(ctx context.Context, s Scheme, pc *Precomputed, alpha float64) (*Result, error) {
 	if len(pc.Samples) == 0 {
 		return nil, fmt.Errorf("hec: evaluating %q on an empty sample set", s.Name())
 	}
+	done := ctx.Done()
 	res := &Result{Scheme: s.Name(), Alpha: alpha}
 	var cum metrics.Cumulative
 	for i, sample := range pc.Samples {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
 		d, err := s.Decide(pc, i)
 		if err != nil {
 			return nil, fmt.Errorf("hec: %q sample %d: %w", s.Name(), i, err)
@@ -82,10 +90,11 @@ func Evaluate(s Scheme, pc *Precomputed, alpha float64) (*Result, error) {
 // own goroutine and returns the results in scheme order. Schemes only read
 // the precomputed outcomes (and, for Adaptive, run read-only forward passes
 // through the policy network), so concurrent evaluation returns exactly
-// what len(schemes) sequential Evaluate calls would.
-func ParallelEvaluate(schemes []Scheme, pc *Precomputed, alpha float64) ([]*Result, error) {
-	return parallel.Map(0, len(schemes), func(i int) (*Result, error) {
-		return Evaluate(schemes[i], pc, alpha)
+// what len(schemes) sequential Evaluate calls would. Cancelling ctx aborts
+// every in-flight evaluation and returns ctx.Err().
+func ParallelEvaluate(ctx context.Context, schemes []Scheme, pc *Precomputed, alpha float64) ([]*Result, error) {
+	return parallel.MapCtx(ctx, 0, len(schemes), func(i int) (*Result, error) {
+		return Evaluate(ctx, schemes[i], pc, alpha)
 	})
 }
 

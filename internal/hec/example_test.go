@@ -1,6 +1,7 @@
 package hec_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"reflect"
@@ -51,12 +52,12 @@ func ExamplePrecompute() {
 	}
 
 	// Precompute fans samples out across one worker per CPU...
-	pc, err := hec.Precompute(dep, nil, samples)
+	pc, err := hec.Precompute(context.Background(), dep, nil, samples)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// ...and returns exactly what the sequential path would.
-	seq, err := hec.PrecomputeWith(dep, nil, samples, hec.PrecomputeOptions{Workers: 1})
+	seq, err := hec.PrecomputeWith(context.Background(), dep, nil, samples, hec.PrecomputeOptions{Workers: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func ExamplePrecompute() {
 	fmt.Println("identical to sequential:", reflect.DeepEqual(seq.Outcomes, pc.Outcomes))
 
 	// Replay the cached outcomes through a scheme — no model runs again.
-	res, err := hec.Evaluate(hec.Fixed{Layer: hec.LayerCloud}, pc, 5e-4)
+	res, err := hec.Evaluate(context.Background(), hec.Fixed{Layer: hec.LayerCloud}, pc, 5e-4)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package hec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -170,7 +171,7 @@ func TestDeploymentDetect(t *testing.T) {
 func TestPrecomputeShapes(t *testing.T) {
 	dep := testDeployment(t)
 	samples := []Sample{sampleWith(0, false), sampleWith(3, true)}
-	pc, err := Precompute(dep, constExtractor{}, samples)
+	pc, err := Precompute(context.Background(), dep, constExtractor{}, samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestPrecomputeShapes(t *testing.T) {
 		}
 	}
 	// Without an extractor, contexts stay nil.
-	pc2, err := Precompute(dep, nil, samples)
+	pc2, err := Precompute(context.Background(), dep, nil, samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestPrecomputeShapes(t *testing.T) {
 func TestFixedSchemes(t *testing.T) {
 	dep := testDeployment(t)
 	samples := []Sample{sampleWith(0, false), sampleWith(0.7, true), sampleWith(3, true)}
-	pc, err := Precompute(dep, nil, samples)
+	pc, err := Precompute(context.Background(), dep, nil, samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestSuccessiveStopsWhenConfident(t *testing.T) {
 	// 3.0 is extreme for the IoT fake (>2/skill=2): confident at layer 0.
 	// 0.7 is invisible to IoT and edge isn't confident (0.7 < 2/2): escalates.
 	samples := []Sample{sampleWith(3, true), sampleWith(0.7, true)}
-	pc, err := Precompute(dep, nil, samples)
+	pc, err := Precompute(context.Background(), dep, nil, samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestSuccessiveStopsWhenConfident(t *testing.T) {
 
 func TestAdaptiveRequiresPolicyAndContexts(t *testing.T) {
 	dep := testDeployment(t)
-	pc, err := Precompute(dep, nil, []Sample{sampleWith(0, false)})
+	pc, err := Precompute(context.Background(), dep, nil, []Sample{sampleWith(0, false)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +288,11 @@ func TestEvaluateAggregates(t *testing.T) {
 	samples := []Sample{
 		sampleWith(0, false), sampleWith(0.5, false), sampleWith(3, true), sampleWith(0.7, true),
 	}
-	pc, err := Precompute(dep, nil, samples)
+	pc, err := Precompute(context.Background(), dep, nil, samples)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Evaluate(Fixed{Layer: LayerCloud}, pc, 5e-4)
+	res, err := Evaluate(context.Background(), Fixed{Layer: LayerCloud}, pc, 5e-4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestEvaluateAggregates(t *testing.T) {
 	if shares[LayerCloud] != 1 {
 		t.Fatalf("layer shares = %v, want all cloud", shares)
 	}
-	if _, err := Evaluate(Fixed{Layer: LayerIoT}, &Precomputed{}, 5e-4); err == nil {
+	if _, err := Evaluate(context.Background(), Fixed{Layer: LayerIoT}, &Precomputed{}, 5e-4); err == nil {
 		t.Fatal("empty sample set must error")
 	}
 }
@@ -339,7 +340,7 @@ func TestTrainPolicyLearnsHardnessRouting(t *testing.T) {
 			samples = append(samples, sampleWith(0.3+rng.Float64()*0.2, true))
 		}
 	}
-	pc, err := Precompute(dep, constExtractor{}, samples)
+	pc, err := Precompute(context.Background(), dep, constExtractor{}, samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,13 +351,13 @@ func TestTrainPolicyLearnsHardnessRouting(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	adaptive, err := Evaluate(Adaptive{Policy: pol}, pc, cfg.Alpha)
+	adaptive, err := Evaluate(context.Background(), Adaptive{Policy: pol}, pc, cfg.Alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fixedSchemes := []Scheme{Fixed{LayerIoT}, Fixed{LayerEdge}, Fixed{LayerCloud}}
 	for _, s := range fixedSchemes {
-		fixed, err := Evaluate(s, pc, cfg.Alpha)
+		fixed, err := Evaluate(context.Background(), s, pc, cfg.Alpha)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -377,7 +378,7 @@ func TestTrainPolicyLearnsHardnessRouting(t *testing.T) {
 		t.Fatalf("policy collapsed to one layer: shares %v", shares)
 	}
 	// And its delay should be far below always-cloud.
-	cloud, _ := Evaluate(Fixed{LayerCloud}, pc, cfg.Alpha)
+	cloud, _ := Evaluate(context.Background(), Fixed{LayerCloud}, pc, cfg.Alpha)
 	if adaptive.Delays.Mean() >= cloud.Delays.Mean() {
 		t.Fatalf("adaptive mean delay %g not below cloud %g",
 			adaptive.Delays.Mean(), cloud.Delays.Mean())
@@ -390,7 +391,7 @@ func TestTrainPolicyValidation(t *testing.T) {
 		t.Fatal("missing contexts must be rejected")
 	}
 	dep := testDeployment(t)
-	pc, err := Precompute(dep, constExtractor{}, []Sample{sampleWith(0, false)})
+	pc, err := Precompute(context.Background(), dep, constExtractor{}, []Sample{sampleWith(0, false)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package hec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -35,12 +36,12 @@ func TestPrecomputeParallelMatchesSequential(t *testing.T) {
 	dep := testDeployment(t)
 	samples := manySamples(300)
 
-	seq, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1})
+	seq, err := PrecomputeWith(context.Background(), dep, constExtractor{}, samples, PrecomputeOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 16, 0} {
-		par, err := PrecomputeWith(dep, constExtractor{}, samples, PrecomputeOptions{Workers: workers})
+		par, err := PrecomputeWith(context.Background(), dep, constExtractor{}, samples, PrecomputeOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestPrecomputeParallelPropagatesErrors(t *testing.T) {
 	samples := manySamples(64)
 	samples[40] = sampleWith(7, true)
 	for _, workers := range []int{1, 4} {
-		_, err := PrecomputeWith(dep, nil, samples, PrecomputeOptions{Workers: workers})
+		_, err := PrecomputeWith(context.Background(), dep, nil, samples, PrecomputeOptions{Workers: workers})
 		if err == nil {
 			t.Fatalf("workers=%d: injected failure not propagated", workers)
 		}
@@ -91,7 +92,7 @@ func TestPrecomputeParallelPropagatesErrors(t *testing.T) {
 func TestParallelEvaluateMatchesSequential(t *testing.T) {
 	dep := testDeployment(t)
 	samples := manySamples(300)
-	pc, err := Precompute(dep, constExtractor{}, samples)
+	pc, err := Precompute(context.Background(), dep, constExtractor{}, samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,13 +106,13 @@ func TestParallelEvaluateMatchesSequential(t *testing.T) {
 	schemes := AllSchemes(pol)
 	want := make([]*Result, len(schemes))
 	for i, s := range schemes {
-		r, err := Evaluate(s, pc, cfg.Alpha)
+		r, err := Evaluate(context.Background(), s, pc, cfg.Alpha)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = r
 	}
-	got, err := ParallelEvaluate(schemes, pc, cfg.Alpha)
+	got, err := ParallelEvaluate(context.Background(), schemes, pc, cfg.Alpha)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestParallelEvaluateMatchesSequential(t *testing.T) {
 // evaluated the rollout rewards.
 func TestTrainPolicyRolloutDeterministic(t *testing.T) {
 	dep := testDeployment(t)
-	pc, err := Precompute(dep, constExtractor{}, manySamples(120))
+	pc, err := Precompute(context.Background(), dep, constExtractor{}, manySamples(120))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestTrainPolicyRolloutDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := Evaluate(Adaptive{Policy: pol}, pc, cfg.Alpha)
+		res, err := Evaluate(context.Background(), Adaptive{Policy: pol}, pc, cfg.Alpha)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachCtxCancelStopsNewTasks cancels mid-run and checks the loop
+// returns ctx.Err() promptly without handing out the remaining tasks.
+func TestForEachCtxCancelStopsNewTasks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		const n = 1000
+		err := ForEachCtx(ctx, workers, n, func(i int) error {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := started.Load(); got >= n {
+			t.Fatalf("workers=%d: all %d tasks ran despite cancellation", workers, got)
+		}
+	}
+}
+
+// TestForEachCtxPreCancelled never starts a task when the context is
+// already done.
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 4, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran on a pre-cancelled context", ran.Load())
+	}
+}
+
+// TestForEachCtxTaskErrorWinsOverCancel checks the precedence contract: a
+// task failure is reported even when the context is cancelled around the
+// same time.
+func TestForEachCtxTaskErrorWinsOverCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEachCtx(ctx, 2, 50, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the task error", err)
+	}
+}
+
+// TestForEachCtxCompletesWithLiveContext is the no-op path: an un-cancelled
+// context must not change ForEach semantics.
+func TestForEachCtxCompletesWithLiveContext(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachCtx(context.Background(), 4, 128, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 128 {
+		t.Fatalf("ran %d tasks, want 128", ran.Load())
+	}
+}
+
+// TestMapCtxCancelReturnsNoResults mirrors Map's all-or-nothing contract
+// under cancellation.
+func TestMapCtxCancelReturnsNoResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 4, 10, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("results %v returned on cancellation", out)
+	}
+}
+
+// TestMapCtxMatchesMap checks the ctx variant is result-identical to Map on
+// success.
+func TestMapCtxMatchesMap(t *testing.T) {
+	fn := func(i int) (int, error) { return i * i, nil }
+	want, err := Map(3, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapCtx(context.Background(), 3, 20, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -12,11 +12,35 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Sleep blocks for d or until ctx is done, whichever comes first,
+// returning nil after a full sleep and ctx.Err() when cut short. The
+// Background-context fast path avoids the timer allocation, which matters
+// on the transport's hot delay-emulation loop.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // Workers resolves a requested worker count: values < 1 mean "use one
 // worker per available CPU" (GOMAXPROCS), and the count is clamped to n so
@@ -51,12 +75,29 @@ type indexedError struct {
 // the lowest-indexed failure among the tasks that executed. fn must be safe
 // to call concurrently from multiple goroutines.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done, no
+// new task is started and the call returns promptly with ctx.Err() (tasks
+// already running finish first — fn is never interrupted mid-flight). A
+// task failure still wins over cancellation when both occur: the returned
+// error is the lowest-indexed task error if any task failed, ctx.Err() if
+// the loop was cut short by cancellation alone, and nil only when all n
+// tasks completed.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	done := ctx.Done()
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -65,11 +106,12 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		mu     sync.Mutex
-		first  *indexedError
-		wg     sync.WaitGroup
+		next     atomic.Int64
+		failed   atomic.Bool
+		canceled atomic.Bool
+		mu       sync.Mutex
+		first    *indexedError
+		wg       sync.WaitGroup
 	)
 	record := func(i int, err error) {
 		mu.Lock()
@@ -88,6 +130,12 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
+				select {
+				case <-done:
+					canceled.Store(true)
+					return
+				default:
+				}
 				if err := fn(i); err != nil {
 					record(i, err)
 					return
@@ -99,6 +147,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if first != nil {
 		return first.err
 	}
+	if canceled.Load() {
+		return ctx.Err()
+	}
 	return nil
 }
 
@@ -106,8 +157,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // results in index order. On failure it returns the lowest-indexed error
 // and no results.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx for the
+// error-precedence contract). On cancellation it returns ctx.Err() and no
+// results.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
+	err := ForEachCtx(ctx, workers, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -24,7 +25,15 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
+
+// ErrRemote marks failures reported by — or on the way to — a remote peer:
+// error responses, dropped connections, and server-side load shedding. It is
+// never attached to local cancellation (ctx errors pass through unwrapped,
+// so errors.Is(err, context.Canceled) stays meaningful), which lets callers
+// separate "the remote failed" from "I gave up".
+var ErrRemote = errors.New("transport: remote failure")
 
 // maxMessageBytes bounds a single message; a 128×18 float64 window is
 // ~18 KB and the largest model snapshot (AE-Cloud) ~4.3 MB, so 16 MB leaves
@@ -62,7 +71,25 @@ type DetectRequest struct {
 	Frames [][]float64
 	// Windows carries the batch for OpDetectBatch; Frames is ignored.
 	Windows [][][]float64
+	// DeadlineUnixMicro propagates the caller's context deadline as
+	// microseconds since the Unix epoch (0 = no deadline). A server that
+	// dequeues the request after this instant sheds the work instead of
+	// running the detector — the verdict could no longer reach the caller in
+	// time, so computing it would only burn the tier's capacity. Assumes
+	// loosely synchronised clocks; see docs/PROTOCOL.md for the
+	// compatibility and skew notes.
+	DeadlineUnixMicro int64
 }
+
+// Response codes carried in DetectResponse.Code, distinguishing error
+// classes that callers must be able to react to mechanically (string
+// matching on Err is not a protocol).
+const (
+	// CodeExpired marks a request shed because its propagated deadline had
+	// already passed when the server picked it up. Clients surface it as
+	// context.DeadlineExceeded.
+	CodeExpired = "expired"
+)
 
 // DetectResponse is the server→client message. Err is non-empty when the
 // operation failed server-side; the connection stays usable.
@@ -76,6 +103,9 @@ type DetectResponse struct {
 	// separate network time from compute time.
 	ProcMs float64
 	Err    string
+	// Code classifies machine-actionable failures (see CodeExpired); empty
+	// for success and for generic errors.
+	Code string
 	// Model is set only for OpFetchModel responses.
 	Model *ModelSnapshot
 	// Verdicts and ExecMsEach are set only for OpDetectBatch responses, one
@@ -287,6 +317,19 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req *DetectRequest) *DetectResponse {
+	// Deadline shedding: if the client's propagated deadline has already
+	// passed, the response cannot be useful no matter how fast detection
+	// runs — skip the detector entirely and tell the client why. FetchModel
+	// is exempt (model shipping is a provisioning step, not a live-path
+	// detection whose answer goes stale).
+	if req.DeadlineUnixMicro > 0 && req.Op != OpFetchModel &&
+		time.Now().UnixMicro() > req.DeadlineUnixMicro {
+		return &DetectResponse{
+			ID:   req.ID,
+			Code: CodeExpired,
+			Err:  "deadline expired before processing; work shed",
+		}
+	}
 	switch req.Op {
 	case OpDetect:
 		start := time.Now()
@@ -457,14 +500,26 @@ func (c *Client) fail(err error) {
 	}
 }
 
-// do sends one request and waits for its response.
-func (c *Client) do(req *DetectRequest) (*DetectResponse, error) {
+// do sends one request and waits for its response, ctx cancellation, or
+// connection failure, whichever comes first. The caller's deadline rides
+// the wire in DeadlineUnixMicro so the server can shed expired work. On
+// cancellation the pending slot is withdrawn immediately — a response that
+// later arrives for it is dropped by the read loop — and ctx's error is
+// returned unwrapped-by-ErrRemote so callers can tell cancellation apart
+// from remote failure.
+func (c *Client) do(ctx context.Context, req *DetectRequest) (*DetectResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		req.DeadlineUnixMicro = deadline.UnixMicro()
+	}
 	ch := make(chan *DetectResponse, 1)
 	c.mu.Lock()
 	if c.pending == nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: connection down: %w", err)
+		return nil, fmt.Errorf("transport: connection down: %w (%w)", err, ErrRemote)
 	}
 	c.nextID++
 	req.ID = c.nextID
@@ -480,16 +535,25 @@ func (c *Client) do(req *DetectRequest) (*DetectResponse, error) {
 			delete(c.pending, req.ID)
 		}
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("transport: sending request: %w (%w)", err, ErrRemote)
 	}
-	resp, ok := <-ch
-	if !ok {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, fmt.Errorf("transport: connection lost mid-request: %w (%w)", err, ErrRemote)
+		}
+		return resp, nil
+	case <-ctx.Done():
 		c.mu.Lock()
-		err := c.err
+		if c.pending != nil {
+			delete(c.pending, req.ID)
+		}
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: connection lost mid-request: %w", err)
+		return nil, fmt.Errorf("transport: request abandoned: %w", ctx.Err())
 	}
-	return resp, nil
 }
 
 // timedDo runs one request under the client's delay-emulation protocol: the
@@ -497,22 +561,23 @@ func (c *Client) do(req *DetectRequest) (*DetectResponse, error) {
 // injected one-way delay before the send and again after the response, and
 // the network-time measurement (wall clock minus the server's processing
 // time, clamped at zero). Detect and DetectBatch share it so the protocol
-// cannot drift between the per-window and batch paths.
-func (c *Client) timedDo(req *DetectRequest) (*DetectResponse, float64, error) {
+// cannot drift between the per-window and batch paths. ctx cancellation is
+// honoured during both injected delays and while waiting for the response.
+func (c *Client) timedDo(ctx context.Context, req *DetectRequest) (*DetectResponse, float64, error) {
 	if c.serial {
 		c.serialMu.Lock()
 		defer c.serialMu.Unlock()
 	}
 	start := time.Now()
-	if c.oneWay > 0 {
-		time.Sleep(c.oneWay)
+	if err := parallel.Sleep(ctx, c.oneWay); err != nil {
+		return nil, 0, fmt.Errorf("transport: request abandoned on uplink: %w", err)
 	}
-	resp, err := c.do(req)
+	resp, err := c.do(ctx, req)
 	if err != nil {
 		return nil, 0, err
 	}
-	if c.oneWay > 0 {
-		time.Sleep(c.oneWay)
+	if err := parallel.Sleep(ctx, c.oneWay); err != nil {
+		return nil, 0, fmt.Errorf("transport: response abandoned on downlink: %w", err)
 	}
 	wall := float64(time.Since(start)) / float64(time.Millisecond)
 	netMs := wall - resp.ProcMs
@@ -522,17 +587,40 @@ func (c *Client) timedDo(req *DetectRequest) (*DetectResponse, float64, error) {
 	return resp, netMs, nil
 }
 
+// remoteError converts a server-side error response into a client error:
+// generic failures wrap ErrRemote, and shed-on-deadline responses
+// (CodeExpired) additionally satisfy errors.Is(err,
+// context.DeadlineExceeded) so deadline handling is uniform whether the
+// deadline tripped locally or at the server.
+func remoteError(op string, resp *DetectResponse) error {
+	if resp.Code == CodeExpired {
+		return fmt.Errorf("transport: %s: %s: %w (%w)", op, resp.Err, context.DeadlineExceeded, ErrRemote)
+	}
+	return fmt.Errorf("transport: %s: %s (%w)", op, resp.Err, ErrRemote)
+}
+
 // Detect sends one window for remote detection. The injected one-way delay
 // is slept before the request is sent and again after the response arrives,
 // emulating link propagation per call — concurrent callers overlap their
 // delays instead of queueing behind each other.
+//
+// Detect is DetectContext with context.Background(): it cannot be cancelled
+// and propagates no deadline.
 func (c *Client) Detect(frames [][]float64) (DetectResult, error) {
-	resp, netMs, err := c.timedDo(&DetectRequest{Op: OpDetect, Frames: frames})
+	return c.DetectContext(context.Background(), frames)
+}
+
+// DetectContext is Detect with cancellation and deadline propagation: a
+// done ctx aborts the injected delays and the response wait with ctx.Err(),
+// and a ctx deadline rides the wire header so the server sheds the request
+// if it arrives already expired.
+func (c *Client) DetectContext(ctx context.Context, frames [][]float64) (DetectResult, error) {
+	resp, netMs, err := c.timedDo(ctx, &DetectRequest{Op: OpDetect, Frames: frames})
 	if err != nil {
 		return DetectResult{}, err
 	}
 	if resp.Err != "" {
-		return DetectResult{}, fmt.Errorf("transport: remote detection: %s", resp.Err)
+		return DetectResult{}, remoteError("remote detection", resp)
 	}
 	return DetectResult{
 		Verdict: resp.Verdict,
@@ -560,35 +648,53 @@ type BatchResult struct {
 
 // DetectBatch ships a batch of windows in one request and returns all
 // verdicts — the wire form of the batched tensor engine. The injected
-// one-way delay is slept once per request, not per window.
+// one-way delay is slept once per request, not per window. It is
+// DetectBatchContext with context.Background().
 func (c *Client) DetectBatch(windows [][][]float64) (BatchResult, error) {
-	resp, netMs, err := c.timedDo(&DetectRequest{Op: OpDetectBatch, Windows: windows})
+	return c.DetectBatchContext(context.Background(), windows)
+}
+
+// DetectBatchContext is DetectBatch with cancellation and deadline
+// propagation (see DetectContext). The deadline covers the whole batch: a
+// server that picks the request up past it sheds all N windows at once.
+func (c *Client) DetectBatchContext(ctx context.Context, windows [][][]float64) (BatchResult, error) {
+	resp, netMs, err := c.timedDo(ctx, &DetectRequest{Op: OpDetectBatch, Windows: windows})
 	if err != nil {
 		return BatchResult{}, err
 	}
 	if resp.Err != "" {
-		return BatchResult{}, fmt.Errorf("transport: remote batch detection: %s", resp.Err)
+		return BatchResult{}, remoteError("remote batch detection", resp)
 	}
 	if len(resp.Verdicts) != len(windows) || len(resp.ExecMsEach) != len(windows) {
-		return BatchResult{}, fmt.Errorf("transport: batch response carries %d verdicts / %d exec times for %d windows",
-			len(resp.Verdicts), len(resp.ExecMsEach), len(windows))
+		return BatchResult{}, fmt.Errorf("transport: batch response carries %d verdicts / %d exec times for %d windows (%w)",
+			len(resp.Verdicts), len(resp.ExecMsEach), len(windows), ErrRemote)
 	}
 	return BatchResult{Verdicts: resp.Verdicts, ExecMsEach: resp.ExecMsEach, NetMs: netMs}, nil
 }
 
 // FetchModel retrieves the server's shipped detector snapshot (the model-
 // shipping RPC): a node that trained once serves its weights, and peers
-// rebuild the detector locally instead of retraining.
+// rebuild the detector locally instead of retraining. It is
+// FetchModelContext with context.Background().
 func (c *Client) FetchModel() (*ModelSnapshot, error) {
-	resp, err := c.do(&DetectRequest{Op: OpFetchModel})
+	return c.FetchModelContext(context.Background())
+}
+
+// FetchModelContext is FetchModel with cancellation. Model shipping skips
+// the injected link-delay emulation (as before) but still honours ctx while
+// waiting for the (multi-megabyte) snapshot to arrive; the wire deadline is
+// not used for shedding here because provisioning work is still useful to
+// a retrying caller.
+func (c *Client) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
+	resp, err := c.do(ctx, &DetectRequest{Op: OpFetchModel})
 	if err != nil {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return nil, fmt.Errorf("transport: fetching model: %s", resp.Err)
+		return nil, remoteError("fetching model", resp)
 	}
 	if resp.Model == nil {
-		return nil, errors.New("transport: peer returned an empty model snapshot")
+		return nil, fmt.Errorf("transport: peer returned an empty model snapshot (%w)", ErrRemote)
 	}
 	return resp.Model, nil
 }
@@ -639,14 +745,31 @@ func (p *Pool) Detect(frames [][]float64) (DetectResult, error) {
 	return p.pick().Detect(frames)
 }
 
+// DetectContext runs one cancellable detection on the next pooled
+// connection (see Client.DetectContext).
+func (p *Pool) DetectContext(ctx context.Context, frames [][]float64) (DetectResult, error) {
+	return p.pick().DetectContext(ctx, frames)
+}
+
 // DetectBatch ships one batch on the next pooled connection.
 func (p *Pool) DetectBatch(windows [][][]float64) (BatchResult, error) {
 	return p.pick().DetectBatch(windows)
 }
 
+// DetectBatchContext ships one cancellable batch on the next pooled
+// connection (see Client.DetectBatchContext).
+func (p *Pool) DetectBatchContext(ctx context.Context, windows [][][]float64) (BatchResult, error) {
+	return p.pick().DetectBatchContext(ctx, windows)
+}
+
 // FetchModel fetches the server's model snapshot over one pooled connection.
 func (p *Pool) FetchModel() (*ModelSnapshot, error) {
 	return p.pick().FetchModel()
+}
+
+// FetchModelContext is FetchModel with cancellation.
+func (p *Pool) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
+	return p.pick().FetchModelContext(ctx)
 }
 
 // Close closes every pooled connection, returning the first error.

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/anomaly"
@@ -55,6 +56,9 @@ func DefaultMultivariateOptions() MultivariateOptions {
 // FastMultivariateOptions returns a reduced configuration for tests and
 // examples: fewer subjects, shorter recordings, smaller models and fewer
 // epochs, same structure.
+//
+// Deprecated: use Build(Multivariate, WithFast()) — or WithMultivariate for
+// finer control. The struct remains as the escape-hatch configuration type.
 func FastMultivariateOptions() MultivariateOptions {
 	opt := DefaultMultivariateOptions()
 	opt.Data.Subjects = 2
@@ -71,10 +75,22 @@ func FastMultivariateOptions() MultivariateOptions {
 // seq2seq detectors, deploys them across the HEC topology, trains the
 // adaptive policy, and precomputes test-split detections. The returned
 // System regenerates Table I/II (multivariate) and the Fig. 3b series.
+//
+// Deprecated: use Build(Multivariate, opts...) — BuildMultivariate(opt) is
+// exactly Build(Multivariate, WithMultivariate(func(o *MultivariateOptions)
+// { *o = opt })) and produces bit-identical systems (pinned by test).
 func BuildMultivariate(opt MultivariateOptions) (*System, error) {
+	return buildMultivariate(context.Background(), opt, engineOptions{})
+}
+
+// buildMultivariate is the unified builder's multivariate backend; see
+// buildUnivariate for the ctx and engine-option contract.
+func buildMultivariate(ctx context.Context, opt MultivariateOptions, eng engineOptions) (*System, error) {
 	ds, err := dataset.GenerateMHealth(opt.Data)
 	if err != nil {
-		return nil, fmt.Errorf("repro: generating mhealth data: %w", err)
+		// Generation only fails on an invalid Data configuration, which is
+		// caller input.
+		return nil, badInputErr("building multivariate system", fmt.Errorf("generating mhealth data: %w", err))
 	}
 
 	trainWindows := make([][][]float64, len(ds.Train))
@@ -92,7 +108,7 @@ func BuildMultivariate(opt MultivariateOptions) (*System, error) {
 	var detectors [hec.NumLayers]anomalyDetector
 	var iotModel *seq2seq.Model
 	tiers := [hec.NumLayers]seq2seq.Tier{seq2seq.TierIoT, seq2seq.TierEdge, seq2seq.TierCloud}
-	err = parallel.ForEach(0, len(tiers), func(l int) error {
+	err = parallel.ForEachCtx(ctx, 0, len(tiers), func(l int) error {
 		tier := tiers[l]
 		rng := derivedRng(opt.Seed, "seq2seq-"+tier.String())
 		m, err := seq2seq.New(tier, opt.Sizing, rng)
@@ -112,12 +128,12 @@ func BuildMultivariate(opt MultivariateOptions) (*System, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr("building multivariate system", err)
 	}
 
 	dep, err := hec.NewDeployment(opt.Topology, toDetectorArray(detectors), true)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr("building multivariate system", err)
 	}
 	// The multivariate context is the IoT model's encoder state: it is
 	// produced on-device as a by-product of local processing.
@@ -134,7 +150,7 @@ func BuildMultivariate(opt MultivariateOptions) (*System, error) {
 		g      parallel.Group
 	)
 	g.Go(func() error {
-		policyPC, err := hec.Precompute(dep, ext, policySamples)
+		policyPC, err := hec.PrecomputeWith(ctx, dep, ext, policySamples, eng.precompute())
 		if err != nil {
 			return fmt.Errorf("repro: precomputing policy split: %w", err)
 		}
@@ -146,14 +162,14 @@ func BuildMultivariate(opt MultivariateOptions) (*System, error) {
 	})
 	g.Go(func() error {
 		var err error
-		testPC, err = hec.Precompute(dep, ext, testSamples)
+		testPC, err = hec.PrecomputeWith(ctx, dep, ext, testSamples, eng.precompute())
 		if err != nil {
 			return fmt.Errorf("repro: precomputing test split: %w", err)
 		}
 		return nil
 	})
 	if err := g.Wait(); err != nil {
-		return nil, err
+		return nil, wrapErr("building multivariate system", err)
 	}
 
 	return &System{

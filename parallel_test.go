@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -14,12 +15,12 @@ import (
 // deployments.
 func assertParallelPrecomputeMatches(t *testing.T, sys *System) {
 	t.Helper()
-	seq, err := hec.PrecomputeWith(sys.Deployment, sys.Extractor, sys.TestSamples, hec.PrecomputeOptions{Workers: 1})
+	seq, err := hec.PrecomputeWith(context.Background(), sys.Deployment, sys.Extractor, sys.TestSamples, hec.PrecomputeOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{4, 0} {
-		par, err := hec.PrecomputeWith(sys.Deployment, sys.Extractor, sys.TestSamples, hec.PrecomputeOptions{Workers: workers})
+		par, err := hec.PrecomputeWith(context.Background(), sys.Deployment, sys.Extractor, sys.TestSamples, hec.PrecomputeOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

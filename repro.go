@@ -9,18 +9,32 @@
 // three-layer HEC simulator, the four baseline schemes, and the proposed
 // contextual-bandit adaptive scheme trained with REINFORCE.
 //
-// Quick start:
+// Quick start — batch reports:
 //
-//	sys, err := repro.BuildUnivariate(repro.FastUnivariateOptions())
+//	sys, err := repro.Build(repro.Univariate, repro.WithFast())
 //	if err != nil { ... }
 //	rows, err := sys.SchemeRows()   // Table II
 //	models := sys.ModelRows()       // Table I
+//
+// Quick start — online detection:
+//
+//	sess, err := sys.Open(repro.SchemeAdaptive)
+//	if err != nil { ... }
+//	defer sess.Close()
+//	det, err := sess.Detect(ctx, sys.TestSamples[0].Frames)
+//
+// Build is the unified entry point (see Option for the knobs); Open starts
+// a streaming Session that judges windows one at a time or in minibatches,
+// locally or against remote tiers, with full context.Context cancellation.
+// Errors carry the repro.Error taxonomy (ErrCanceled, ErrDeadline,
+// ErrRemote, ErrBadInput) and compose with errors.Is/As.
 //
 // See the examples/ directory for runnable end-to-end scenarios and
 // cmd/hecbench for the full benchmark harness.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -150,10 +164,17 @@ func (s *System) ModelRows() ([]ModelRow, error) {
 // read-only precomputed outcomes), which is the ParallelEvaluate engine;
 // rows come back in the paper's scheme order regardless.
 func (s *System) SchemeRows() ([]SchemeRow, error) {
+	return s.SchemeRowsContext(context.Background())
+}
+
+// SchemeRowsContext is SchemeRows with cancellation: a done ctx aborts the
+// concurrent scheme replays and returns an error satisfying
+// errors.Is(err, ErrCanceled) (or ErrDeadline) and ctx.Err().
+func (s *System) SchemeRowsContext(ctx context.Context) ([]SchemeRow, error) {
 	schemes := hec.AllSchemes(s.Policy)
-	results, err := hec.ParallelEvaluate(schemes, s.testPC, s.Alpha)
+	results, err := hec.ParallelEvaluate(ctx, schemes, s.testPC, s.Alpha)
 	if err != nil {
-		return nil, fmt.Errorf("repro: evaluating schemes: %w", err)
+		return nil, wrapErr("evaluating schemes", err)
 	}
 	rows := make([]SchemeRow, 0, len(results))
 	for _, res := range results {
@@ -173,7 +194,7 @@ func (s *System) SchemeRows() ([]SchemeRow, error) {
 // ResultPanel evaluates one scheme and returns its full per-sample series —
 // the data behind the demo's streaming result panel (Fig. 3b).
 func (s *System) ResultPanel(scheme hec.Scheme) (*hec.Result, error) {
-	return hec.Evaluate(scheme, s.testPC, s.Alpha)
+	return hec.Evaluate(context.Background(), scheme, s.testPC, s.Alpha)
 }
 
 // confusionLite is a minimal inline confusion matrix (avoids importing

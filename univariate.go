@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/autoencoder"
@@ -45,6 +46,9 @@ func DefaultUnivariateOptions() UnivariateOptions {
 
 // FastUnivariateOptions returns a reduced configuration for tests and the
 // quickstart example: smaller splits and fewer epochs, same structure.
+//
+// Deprecated: use Build(Univariate, WithFast()) — or WithUnivariate for
+// finer control. The struct remains as the escape-hatch configuration type.
 func FastUnivariateOptions() UnivariateOptions {
 	opt := DefaultUnivariateOptions()
 	opt.Data.TrainWeeks = 30
@@ -60,10 +64,26 @@ func FastUnivariateOptions() UnivariateOptions {
 // adaptive policy on the policy split, and precomputes test-split
 // detections. The returned System regenerates Table I/II (univariate) and
 // the Fig. 3b series.
+//
+// Deprecated: use Build(Univariate, opts...) — BuildUnivariate(opt) is
+// exactly Build(Univariate, WithUnivariate(func(o *UnivariateOptions) {
+// *o = opt })) and produces bit-identical systems (pinned by test).
 func BuildUnivariate(opt UnivariateOptions) (*System, error) {
+	return buildUnivariate(context.Background(), opt, engineOptions{})
+}
+
+// buildUnivariate is the unified builder's univariate backend. eng carries
+// the engine knobs (precompute workers / batch size) that are not part of
+// the model configuration; its zero value reproduces the historical
+// BuildUnivariate behaviour exactly. Cancelling ctx aborts the build at the
+// next stage boundary (between tier trainings, or inside either precompute
+// pass) with an error satisfying errors.Is(err, ctx.Err()).
+func buildUnivariate(ctx context.Context, opt UnivariateOptions, eng engineOptions) (*System, error) {
 	ds, err := dataset.GeneratePower(opt.Data)
 	if err != nil {
-		return nil, fmt.Errorf("repro: generating power data: %w", err)
+		// Generation only fails on an invalid Data configuration, which is
+		// caller input.
+		return nil, badInputErr("building univariate system", fmt.Errorf("generating power data: %w", err))
 	}
 
 	trainValues := make([][]float64, len(ds.Train))
@@ -76,7 +96,7 @@ func BuildUnivariate(opt UnivariateOptions) (*System, error) {
 	// weights are identical to a sequential build.
 	var detectors [hec.NumLayers]anomalyDetector
 	tiers := [hec.NumLayers]autoencoder.Tier{autoencoder.TierIoT, autoencoder.TierEdge, autoencoder.TierCloud}
-	err = parallel.ForEach(0, len(tiers), func(l int) error {
+	err = parallel.ForEachCtx(ctx, 0, len(tiers), func(l int) error {
 		tier := tiers[l]
 		rng := derivedRng(opt.Seed, "ae-"+tier.String())
 		m, err := autoencoder.New(tier, dataset.ReadingsPerWeek, rng)
@@ -95,12 +115,12 @@ func BuildUnivariate(opt UnivariateOptions) (*System, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, wrapErr("building univariate system", err)
 	}
 
 	dep, err := hec.NewDeployment(opt.Topology, toDetectorArray(detectors), false)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr("building univariate system", err)
 	}
 	ext := features.UnivariateExtractor{}
 	dep.PolicyOverheadMs = policyOverheadMs(opt.Topology, ext.Dim(), opt.Policy.Hidden)
@@ -115,7 +135,7 @@ func BuildUnivariate(opt UnivariateOptions) (*System, error) {
 		g      parallel.Group
 	)
 	g.Go(func() error {
-		policyPC, err := hec.Precompute(dep, ext, policySamples)
+		policyPC, err := hec.PrecomputeWith(ctx, dep, ext, policySamples, eng.precompute())
 		if err != nil {
 			return fmt.Errorf("repro: precomputing policy split: %w", err)
 		}
@@ -127,14 +147,14 @@ func BuildUnivariate(opt UnivariateOptions) (*System, error) {
 	})
 	g.Go(func() error {
 		var err error
-		testPC, err = hec.Precompute(dep, ext, testSamples)
+		testPC, err = hec.PrecomputeWith(ctx, dep, ext, testSamples, eng.precompute())
 		if err != nil {
 			return fmt.Errorf("repro: precomputing test split: %w", err)
 		}
 		return nil
 	})
 	if err := g.Wait(); err != nil {
-		return nil, err
+		return nil, wrapErr("building univariate system", err)
 	}
 
 	return &System{
