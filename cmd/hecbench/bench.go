@@ -8,12 +8,15 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/anomaly"
 	"repro/internal/autoencoder"
 	"repro/internal/hec"
 	"repro/internal/rnn"
+	"repro/internal/routing"
+	"repro/internal/transport"
 )
 
 // The -bench-json mode: a machine-readable perf snapshot of the batched
@@ -24,7 +27,11 @@ import (
 // benchSchema identifies the snapshot layout for downstream tooling.
 const benchSchema = "hec-bench/1"
 
-// BenchResult is one seq-vs-batched measurement.
+// BenchResult is one baseline-vs-variant measurement. The classic results
+// compare per-sample ("sequential") against batched execution; the
+// serving-plane results reuse the same two slots with explicit Baseline /
+// Variant labels (gob vs binary codec, always-busiest vs least-in-flight
+// routing).
 type BenchResult struct {
 	// Name identifies the workload (e.g. "autoencoder-train-epoch").
 	Name string `json:"name"`
@@ -32,7 +39,12 @@ type BenchResult struct {
 	Detail string `json:"detail"`
 	// BatchSize is the batch the vectorised variant ran with.
 	BatchSize int `json:"batch_size"`
-	// SequentialMs / BatchedMs are best-of-reps wall-clock times.
+	// Baseline / Variant name the two configurations when the pair is not
+	// sequential-vs-batched; empty for the classic results.
+	Baseline string `json:"baseline,omitempty"`
+	Variant  string `json:"variant,omitempty"`
+	// SequentialMs / BatchedMs are best-of-reps wall-clock times of the
+	// baseline and the variant respectively.
 	SequentialMs float64 `json:"sequential_ms"`
 	BatchedMs    float64 `json:"batched_ms"`
 	// Speedup is SequentialMs / BatchedMs.
@@ -222,12 +234,152 @@ func benchReconstruct(reps, windows int) (BenchResult, error) {
 	}, nil
 }
 
+// benchCodec measures the OpDetectBatch encode+decode cycle — request and
+// response, both directions — under gob and under the binary codec, on the
+// canonical transport.BenchBatch workload (the same bytes the package's Go
+// benchmarks measure). This is the serving-plane acceptance number: the
+// binary codec must beat gob ≥ 2× at batch 16.
+func benchCodec(reps, iters, batch int) (BenchResult, error) {
+	req, resp := transport.BenchBatch(batch)
+	cycle := func(c transport.FrameCodec) func() error {
+		var reqBuf, respBuf []byte
+		return func() error {
+			for i := 0; i < iters; i++ {
+				var err error
+				if reqBuf, err = c.AppendRequest(reqBuf[:0], req); err != nil {
+					return err
+				}
+				if err := c.DecodeRequest(reqBuf, new(transport.DetectRequest)); err != nil {
+					return err
+				}
+				if respBuf, err = c.AppendResponse(respBuf[:0], resp); err != nil {
+					return err
+				}
+				if err := c.DecodeResponse(respBuf, new(transport.DetectResponse)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	gobMs, err := timeIt(reps, cycle(transport.GobCodec))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	binMs, err := timeIt(reps, cycle(transport.BinaryCodec))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:         "codec-detectbatch-roundtrip",
+		Detail:       fmt.Sprintf("OpDetectBatch encode+decode both directions, %d windows of 672×1, %d cycles", batch, iters),
+		BatchSize:    batch,
+		Baseline:     "gob",
+		Variant:      "binary",
+		SequentialMs: gobMs,
+		BatchedMs:    binMs,
+		Speedup:      gobMs / binMs,
+	}, nil
+}
+
+// sleepDetector is the routing benchmark's stand-in model: a fixed
+// per-request service time behind a mutex, so each replica behaves like a
+// single-core inference server — requests routed to a busy replica queue
+// behind it, which is exactly the dynamic that separates good routing from
+// bad.
+type sleepDetector struct {
+	mu        sync.Mutex
+	ServiceMs float64
+}
+
+func (*sleepDetector) Name() string { return "sleep" }
+
+func (d *sleepDetector) Detect(frames [][]float64) (anomaly.Verdict, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	time.Sleep(time.Duration(d.ServiceMs * float64(time.Millisecond)))
+	return anomaly.Verdict{}, nil
+}
+
+func (*sleepDetector) NumParams() int           { return 0 }
+func (*sleepDetector) FlopsPerWindow(int) int64 { return 0 }
+
+// benchRouting replays the inference-sim experiment at transport scale: 3
+// replicas with one deliberately slow instance, 8 concurrent clients, and
+// the same request stream routed by the pathological always-busiest policy
+// (which herds onto one replica) vs least-in-flight (which steers around
+// the slow one). The wall-clock ratio is the price of bad routing.
+func benchRouting(reps, requests int) (BenchResult, error) {
+	const workers = 8
+	// Replica 0 is 4× slower than its peers — the degraded instance a good
+	// policy must route around and always-busiest herds onto.
+	var srvs []*transport.Server
+	for _, serviceMs := range []float64{4, 1, 1} {
+		srv, err := transport.Serve("127.0.0.1:0", &sleepDetector{ServiceMs: serviceMs}, nil)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		defer srv.Close()
+		srvs = append(srvs, srv)
+	}
+	addrs := []string{srvs[0].Addr(), srvs[1].Addr(), srvs[2].Addr()}
+	frames := [][]float64{{0.5}}
+
+	drive := func(policy routing.Policy) func() error {
+		return func() error {
+			set, err := routing.New(routing.Config{Addrs: addrs, PoolSize: 2, Policy: policy})
+			if err != nil {
+				return err
+			}
+			defer set.Close()
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			per := requests / workers
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := set.Detect(frames); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			return <-errs
+		}
+	}
+	worstMs, err := timeIt(reps, drive(routing.AlwaysBusiest()))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	bestMs, err := timeIt(reps, drive(routing.LeastInFlight()))
+	if err != nil {
+		return BenchResult{}, err
+	}
+	return BenchResult{
+		Name:         "routing-policy-skewed-replicas",
+		Detail:       fmt.Sprintf("3 replicas (4ms/1ms/1ms service), %d workers × %d requests", workers, requests/workers),
+		BatchSize:    1,
+		Baseline:     "always-busiest",
+		Variant:      "least-in-flight",
+		SequentialMs: worstMs,
+		BatchedMs:    bestMs,
+		Speedup:      worstMs / bestMs,
+	}, nil
+}
+
 // runBenchJSON produces the perf snapshot and writes it to path ("-" for
 // stdout). fast shrinks the workloads for CI smoke runs.
 func runBenchJSON(path string, fast bool) error {
 	reps, weeks, samples, windows := 3, 104, 156, 16
+	codecIters, routeReqs := 400, 256
 	if fast {
 		reps, weeks, samples, windows = 1, 32, 48, 8
+		codecIters, routeReqs = 60, 64
 	}
 	const batch = 32
 	snap := BenchSnapshot{
@@ -241,6 +393,8 @@ func runBenchJSON(path string, fast bool) error {
 		func() (BenchResult, error) { return benchTrain(reps, weeks, batch) },
 		func() (BenchResult, error) { return benchPrecompute(reps, samples, batch) },
 		func() (BenchResult, error) { return benchReconstruct(reps, windows) },
+		func() (BenchResult, error) { return benchCodec(reps, codecIters, 16) },
+		func() (BenchResult, error) { return benchRouting(reps, routeReqs) },
 	} {
 		res, err := bench()
 		if err != nil {

@@ -49,15 +49,16 @@ func main() {
 		save  = flag.String("save", "", "write the trained model artifact to this file")
 		load  = flag.String("load", "", "load the model artifact from this file instead of training")
 		fetch = flag.String("fetch", "", "fetch the model from a running peer node instead of training")
+		drain = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: finish in-flight requests for up to this long on SIGTERM")
 	)
 	flag.Parse()
-	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch); err != nil {
+	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "hecnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(layerName, data, addr string, seed int64, save, load, fetch string) error {
+func run(layerName, data, addr string, seed int64, save, load, fetch string, drain time.Duration) error {
 	l, err := parseLayer(layerName)
 	if err != nil {
 		return err
@@ -135,10 +136,27 @@ func run(layerName, data, addr string, seed int64, save, load, fetch string) err
 	defer srv.Close()
 	fmt.Printf("hecnode: %s (%s) serving on %s\n", det.Name(), l, srv.Addr())
 
-	stop := make(chan os.Signal, 1)
+	// Graceful drain, so rolling this replica does not surface spurious
+	// remote errors to clients: the first signal stops accepting and lets
+	// in-flight requests finish (their responses still reach the wire, and
+	// clients' routing layers fail the *next* request over to a healthy
+	// replica); a second signal — or the -drain budget expiring — forces an
+	// immediate close.
+	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("hecnode: shutting down")
+	fmt.Printf("hecnode: draining (finishing in-flight requests, budget %v; signal again to force)\n", drain)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	go func() {
+		<-stop
+		cancel()
+	}()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Printf("hecnode: drain cut short (%v); closing\n", err)
+		return nil
+	}
+	fmt.Println("hecnode: drained cleanly")
 	return nil
 }
 

@@ -1,15 +1,18 @@
 // Cluster: the live HEC runtime over real TCP with tc-style latency
 // injection, mirroring the paper's Raspberry Pi / Jetson / Devbox testbed.
 // Unlike the precompute-and-replay simulator, everything here happens over
-// sockets: the edge and cloud detectors run as TCP services (in-process by
-// default, or external hecnode processes via -edge/-cloud), simulated IoT
-// devices stream windows concurrently through pooled pipelined connections,
-// and the trained REINFORCE policy routes each window live.
+// sockets: the edge and cloud detectors run as replicated TCP services
+// (-replicas in-process servers per tier by default, or external hecnode
+// processes via -edge/-cloud), simulated IoT devices stream windows
+// concurrently through health-checked replica sets, and the trained
+// REINFORCE policy routes each window live.
 //
 // The demo exercises all five paper schemes plus a deliberately bad
 // "pathological" policy (the trained policy's least-preferred layer) to
-// validate that the live metrics can tell a good policy from a bad one, and
-// finishes with a serialized-vs-pipelined transport comparison.
+// validate that the live metrics can tell a good policy from a bad one,
+// then kills an edge replica mid-stream to demonstrate transparent
+// failover, and finishes with a serialized-vs-pipelined transport
+// comparison.
 //
 // Two-terminal usage against external nodes (same -seed everywhere):
 //
@@ -27,6 +30,7 @@ import (
 	"math/rand"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -37,6 +41,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/hec"
 	"repro/internal/parallel"
+	"repro/internal/routing"
 	"repro/internal/transport"
 )
 
@@ -45,10 +50,12 @@ func main() {
 		devices  = flag.Int("devices", 8, "concurrent simulated IoT devices")
 		rounds   = flag.Int("rounds", 2, "passes over the test split per device")
 		scale    = flag.Int("scale", 25, "divide the testbed's injected link delays by this factor")
-		poolSize = flag.Int("pool", 4, "pooled connections per remote layer")
+		poolSize = flag.Int("pool", 4, "pooled connections per replica")
+		replicas = flag.Int("replicas", 2, "in-process server replicas per remote tier")
+		policy   = flag.String("routing", "least-in-flight", "replica routing policy: round-robin | least-in-flight | power-of-two | always-busiest")
 		seed     = flag.Int64("seed", 1, "training seed (must match external hecnodes)")
-		edgeAddr = flag.String("edge", "", "external edge hecnode address (default: in-process server)")
-		cloudAdr = flag.String("cloud", "", "external cloud hecnode address (default: in-process server)")
+		edgeAddr = flag.String("edge", "", "external edge hecnode address (default: in-process replicas)")
+		cloudAdr = flag.String("cloud", "", "external cloud hecnode address (default: in-process replicas)")
 		batch    = flag.Int("batch", 0, "windows shipped per request (<2 = per-window dispatch)")
 	)
 	flag.Parse()
@@ -57,7 +64,7 @@ func main() {
 	// deadline-propagating transport.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *devices, *rounds, *scale, *poolSize, *seed, *edgeAddr, *cloudAdr, *batch)
+	err := run(ctx, *devices, *rounds, *scale, *poolSize, *replicas, *policy, *seed, *edgeAddr, *cloudAdr, *batch)
 	if errors.Is(err, context.Canceled) {
 		fmt.Println("\ninterrupted — device fleet drained")
 		return
@@ -67,9 +74,16 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, devices, rounds, scale, poolSize int, seed int64, edgeAddr, cloudAddr string, batch int) error {
+func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, policyName string, seed int64, edgeAddr, cloudAddr string, batch int) error {
 	if scale < 1 {
 		scale = 1
+	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	routePolicy, err := routing.ParsePolicy(policyName)
+	if err != nil {
+		return err
 	}
 	// The same dataset recipe hecnode trains with, so external nodes built
 	// from the same seed hold byte-identical models.
@@ -138,45 +152,70 @@ func run(ctx context.Context, devices, rounds, scale, poolSize int, seed int64, 
 		return err
 	}
 
-	// Stand up the remote layers: in-process servers unless external
-	// hecnode addresses were given.
-	if edgeAddr == "" {
-		srv, err := serveLayer(hec.LayerEdge, detectors[hec.LayerEdge], top)
-		if err != nil {
-			return err
+	// Stand up the remote tiers as replica fleets: -replicas in-process
+	// servers per tier, unless an external hecnode address was given (then
+	// that single node is the tier's only replica).
+	var edgeAddrs, cloudAddrs []string
+	var edgeSrvs []*transport.Server
+	if edgeAddr != "" {
+		edgeAddrs = []string{edgeAddr}
+	} else {
+		for i := 0; i < replicas; i++ {
+			srv, err := serveLayer(hec.LayerEdge, detectors[hec.LayerEdge], top)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			edgeSrvs = append(edgeSrvs, srv)
+			edgeAddrs = append(edgeAddrs, srv.Addr())
 		}
-		defer srv.Close()
-		edgeAddr = srv.Addr()
 	}
-	if cloudAddr == "" {
-		srv, err := serveLayer(hec.LayerCloud, detectors[hec.LayerCloud], top)
-		if err != nil {
-			return err
+	if cloudAddr != "" {
+		cloudAddrs = []string{cloudAddr}
+	} else {
+		for i := 0; i < replicas; i++ {
+			srv, err := serveLayer(hec.LayerCloud, detectors[hec.LayerCloud], top)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			cloudAddrs = append(cloudAddrs, srv.Addr())
 		}
-		defer srv.Close()
-		cloudAddr = srv.Addr()
 	}
-	fmt.Printf("edge node on %s, cloud node on %s\n", edgeAddr, cloudAddr)
+	fmt.Printf("edge replicas %v, cloud replicas %v, routing %s\n", edgeAddrs, cloudAddrs, routePolicy.Name())
 
 	// Model-shipping sanity check: fetch the edge model over the RPC,
 	// rebuild it locally, and confirm verdict parity on one window.
-	if err := verifyShippedModel(edgeAddr, detectors[hec.LayerEdge], ds.Test[0]); err != nil {
+	if err := verifyShippedModel(edgeAddrs[0], detectors[hec.LayerEdge], ds.Test[0]); err != nil {
 		return err
 	}
 
-	// Pooled pipelined connections with injected one-way delays: 125 ms to
+	// Health-checked replica sets with injected one-way delays: 125 ms to
 	// the edge and 250 ms to the cloud (two hops), scaled down 1/scale so
-	// the demo finishes quickly.
-	edgePool, err := transport.DialPool(edgeAddr, 125*time.Millisecond/time.Duration(scale), poolSize)
+	// the demo finishes quickly. Every request is routed by routePolicy and
+	// fails over inside the set's retry budget.
+	edgeSet, err := routing.New(routing.Config{
+		Addrs:          edgeAddrs,
+		Dial:           transport.DialOptions{OneWay: 125 * time.Millisecond / time.Duration(scale)},
+		PoolSize:       poolSize,
+		Policy:         routePolicy,
+		HealthInterval: time.Second,
+	})
 	if err != nil {
 		return err
 	}
-	defer edgePool.Close()
-	cloudPool, err := transport.DialPool(cloudAddr, 250*time.Millisecond/time.Duration(scale), poolSize)
+	defer edgeSet.Close()
+	cloudSet, err := routing.New(routing.Config{
+		Addrs:          cloudAddrs,
+		Dial:           transport.DialOptions{OneWay: 250 * time.Millisecond / time.Duration(scale)},
+		PoolSize:       poolSize,
+		Policy:         routePolicy,
+		HealthInterval: time.Second,
+	})
 	if err != nil {
 		return err
 	}
-	defer cloudPool.Close()
+	defer cloudSet.Close()
 
 	localExec, err := top.ExecTimeFunc(hec.LayerIoT, detectors[hec.LayerIoT], false)
 	if err != nil {
@@ -185,7 +224,7 @@ func run(ctx context.Context, devices, rounds, scale, poolSize int, seed int64, 
 	dev := &cluster.Device{
 		Local:            detectors[hec.LayerIoT],
 		LocalExecMs:      localExec,
-		Remotes:          [hec.NumLayers]cluster.Remote{nil, edgePool, cloudPool},
+		Remotes:          [hec.NumLayers]cluster.Remote{nil, edgeSet, cloudSet},
 		Policy:           pol,
 		Extractor:        ext,
 		PolicyOverheadMs: dep.PolicyOverheadMs,
@@ -218,7 +257,71 @@ func run(ctx context.Context, devices, rounds, scale, poolSize int, seed int64, 
 	fmt.Println("\n(Pathological routes every window to the policy's least-preferred layer;")
 	fmt.Println(" healthy live metrics must show it losing to Adaptive on delay and reward.)")
 
-	return compareTransports(edgeAddr, testSamples[0].Frames, scale)
+	if len(edgeSrvs) > 1 {
+		if err := failoverDemo(ctx, dev, edgeSet, edgeSrvs[0], testSamples); err != nil {
+			return err
+		}
+	}
+
+	return compareTransports(edgeAddrs[len(edgeAddrs)-1], testSamples[0].Frames, scale)
+}
+
+// failoverDemo kills one edge replica while a stream of edge-routed
+// windows is in flight and shows that not a single window fails: broken
+// attempts retry onto the surviving replicas inside the set's budget, and
+// the health checker expels the dead member.
+func failoverDemo(ctx context.Context, dev *cluster.Device, edgeSet *routing.ReplicaSet, victim *transport.Server, samples []hec.Sample) error {
+	const workers, perWorker = 4, 30
+	fmt.Printf("\nfailover demo: %d workers stream %d edge windows each; killing replica %s mid-run\n",
+		workers, perWorker, victim.Addr())
+	var (
+		wg       sync.WaitGroup
+		detected atomic.Int64
+		firstErr = make(chan error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := dev.Run(ctx, cluster.SchemeEdge, samples[(w*perWorker+i)%len(samples)].Frames); err != nil {
+					firstErr <- fmt.Errorf("window %d/%d: %w", w, i, err)
+					return
+				}
+				detected.Add(1)
+			}
+		}(w)
+	}
+	// Kill the victim once the stream is provably mid-flight (a quarter of
+	// the windows done), so the failover happens under live traffic. If the
+	// stream dies first — ^C, or the whole tier failing — stop waiting and
+	// report instead of spinning.
+	streamDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(streamDone)
+	}()
+waitKill:
+	for detected.Load() < workers*perWorker/4 {
+		select {
+		case <-streamDone:
+			break waitKill
+		case <-time.After(time.Millisecond):
+		}
+	}
+	victim.Close()
+	<-streamDone
+	close(firstErr)
+	if err := <-firstErr; err != nil {
+		return fmt.Errorf("failover demo lost a window: %w", err)
+	}
+	edgeSet.CheckHealth() // refresh membership before reporting
+	fmt.Printf("  %d/%d windows detected, zero errors, through replicas:\n", detected.Load(), workers*perWorker)
+	for _, st := range edgeSet.Status() {
+		fmt.Printf("    %-21s healthy=%-5v requests=%-4d failures=%-3d evicted-conns=%d\n",
+			st.Addr, st.Healthy, st.Requests, st.Failures, st.EvictedConns)
+	}
+	return nil
 }
 
 // serveLayer hosts one detector as an in-process TCP service with the

@@ -21,7 +21,8 @@ import (
 // each window actually cost the link once it rode along with the batch.
 
 // BatchRemote is a Remote that can ship many windows per request.
-// *transport.Client and *transport.Pool both satisfy it.
+// *transport.Client, *transport.Pool and *routing.ReplicaSet all satisfy
+// it.
 type BatchRemote interface {
 	Remote
 	DetectBatchContext(ctx context.Context, windows [][][]float64) (transport.BatchResult, error)

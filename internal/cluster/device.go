@@ -26,9 +26,11 @@ import (
 )
 
 // Remote is a connection to one remote layer's detection service.
-// *transport.Client and *transport.Pool both satisfy it. The context
-// carries cancellation and the deadline that transport propagates on the
-// wire so overloaded tiers can shed expired work.
+// *transport.Client, *transport.Pool and *routing.ReplicaSet all satisfy
+// it — the last is how a Device gets a multi-replica tier with
+// health-checked failover without knowing it (see internal/routing). The
+// context carries cancellation and the deadline that transport propagates
+// on the wire so overloaded tiers can shed expired work.
 type Remote interface {
 	DetectContext(ctx context.Context, frames [][]float64) (transport.DetectResult, error)
 }

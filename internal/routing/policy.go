@@ -1,0 +1,141 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Policy picks which replica a request goes to. Pick receives the in-flight
+// request count of every candidate replica (the healthy ones, in stable
+// order) and returns an index into that slice; len(inflight) is always ≥ 1.
+// Implementations must be safe for concurrent use — a ReplicaSet calls Pick
+// from every requesting goroutine.
+type Policy interface {
+	// Name identifies the policy in stats, flags and benchmarks.
+	Name() string
+	// Pick chooses among the candidates given their in-flight counts.
+	Pick(inflight []int) int
+}
+
+// Cloner is implemented by policies whose Pick carries mutable per-set
+// state (a round-robin cursor, a sampling RNG). A ReplicaSet clones such a
+// policy at New, so one configured policy value fanned out to several tiers
+// gives each tier independent state — two sets sharing a round-robin
+// counter could otherwise pin each tier to one replica under interleaved
+// traffic. Stateless policies need not implement it.
+type Cloner interface {
+	ClonePolicy() Policy
+}
+
+// RoundRobin cycles through the replicas in order, ignoring load — the
+// baseline policy, optimal when replicas are identical and requests
+// uniform.
+func RoundRobin() Policy { return &roundRobin{} }
+
+type roundRobin struct{ next atomic.Uint64 }
+
+func (*roundRobin) Name() string { return "round-robin" }
+
+func (*roundRobin) ClonePolicy() Policy { return &roundRobin{} }
+
+func (p *roundRobin) Pick(inflight []int) int {
+	return int((p.next.Add(1) - 1) % uint64(len(inflight)))
+}
+
+// LeastInFlight sends every request to the replica with the fewest requests
+// in flight (first wins on ties). In-flight count is a live proxy for how
+// busy — or how slow — a replica currently is, so the policy automatically
+// steers around a degraded instance.
+func LeastInFlight() Policy { return leastInFlight{} }
+
+type leastInFlight struct{}
+
+func (leastInFlight) Name() string { return "least-in-flight" }
+
+func (leastInFlight) Pick(inflight []int) int {
+	best := 0
+	for i, n := range inflight {
+		if n < inflight[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// PowerOfTwo samples two distinct replicas uniformly and dispatches to the
+// less loaded — the classic "power of two choices" policy: nearly the tail
+// latency of least-in-flight without scanning every replica, and far better
+// than random. seed makes the sampling deterministic for tests; use any
+// value in production.
+func PowerOfTwo(seed int64) Policy {
+	return &powerOfTwo{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+type powerOfTwo struct {
+	seed int64
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (*powerOfTwo) Name() string { return "power-of-two" }
+
+func (p *powerOfTwo) ClonePolicy() Policy { return PowerOfTwo(p.seed) }
+
+func (p *powerOfTwo) Pick(inflight []int) int {
+	n := len(inflight)
+	if n == 1 {
+		return 0
+	}
+	p.mu.Lock()
+	a := p.rng.Intn(n)
+	b := p.rng.Intn(n - 1)
+	p.mu.Unlock()
+	if b >= a {
+		b++
+	}
+	if inflight[b] < inflight[a] {
+		return b
+	}
+	return a
+}
+
+// AlwaysBusiest dispatches every request to the replica with the MOST
+// requests in flight — a deliberately pathological policy. It exists for
+// the same reason the cluster runtime has a Pathological scheme: a metrics
+// pipeline (or a benchmark) that cannot show always-busiest losing badly to
+// least-in-flight on tail latency is not measuring anything.
+func AlwaysBusiest() Policy { return alwaysBusiest{} }
+
+type alwaysBusiest struct{}
+
+func (alwaysBusiest) Name() string { return "always-busiest" }
+
+func (alwaysBusiest) Pick(inflight []int) int {
+	worst := 0
+	for i, n := range inflight {
+		if n > inflight[worst] {
+			worst = i
+		}
+	}
+	return worst
+}
+
+// ParsePolicy maps a CLI-style name to a policy. The power-of-two sampler
+// is seeded from the name's ordinal; callers needing reproducible sampling
+// construct PowerOfTwo directly.
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "round-robin", "rr":
+		return RoundRobin(), nil
+	case "least-in-flight", "least-loaded":
+		return LeastInFlight(), nil
+	case "power-of-two", "p2c":
+		return PowerOfTwo(2), nil
+	case "always-busiest":
+		return AlwaysBusiest(), nil
+	default:
+		return nil, fmt.Errorf("routing: unknown policy %q (round-robin|least-in-flight|power-of-two|always-busiest)", name)
+	}
+}

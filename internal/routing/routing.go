@@ -1,0 +1,518 @@
+// Package routing is the replica-aware serving plane between the cluster
+// runtime and the transport: a tier is no longer one address but a
+// ReplicaSet — N detection-service replicas behind one Remote-shaped
+// endpoint, with health-checked membership, a pluggable routing policy,
+// failover under a bounded retry budget, and an admission cap that sheds
+// excess load instead of queueing it unboundedly.
+//
+// The failure taxonomy stays the transport's: every routing-level refusal
+// (retry budget exhausted, admission cap hit, no replica reachable) wraps
+// transport.ErrRemote, so callers that already branch on the
+// ErrRemote/ErrDeadline taxonomy need no new cases. Connection-level
+// failures (transport.ErrConn) additionally mark the replica unhealthy and
+// trigger failover; application-level errors and deadline sheds do not —
+// the replica answered, so it is alive.
+package routing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ErrShed marks a request refused at admission because the set already has
+// MaxInFlight requests in flight. Shedding at the door keeps overload from
+// turning into an unbounded queue; callers see a fast, labelled failure
+// (wrapping transport.ErrRemote) instead of a slow timeout.
+var ErrShed = errors.New("routing: admission cap reached; request shed")
+
+// ErrExhausted marks a request that failed on every replica the retry
+// budget allowed. It wraps transport.ErrRemote (via the last attempt's
+// error) so taxonomy mapping is unchanged.
+var ErrExhausted = errors.New("routing: retry budget exhausted")
+
+// Config parameterises a ReplicaSet.
+type Config struct {
+	// Addrs are the replica addresses of one tier (≥ 1). At least one must
+	// be dialable when New runs; the rest may join later — undialable
+	// replicas start unhealthy and are re-probed by the health checker and
+	// by failover attempts.
+	Addrs []string
+	// Dial is applied to every connection (injected one-way delay, codec
+	// policy, serial mode).
+	Dial transport.DialOptions
+	// PoolSize is the number of pipelined connections per replica (< 1
+	// means 1).
+	PoolSize int
+	// Policy picks the replica per request; nil means RoundRobin.
+	Policy Policy
+	// Retries is how many additional attempts a failed request gets on
+	// other replicas (< 0 means 0; default DefaultRetries when zero-valued
+	// via New's Config literal — set NoRetries to force 0).
+	Retries int
+	// NoRetries forces a zero retry budget (distinguishing "unset" from
+	// "explicitly none" in a zero-valued Config field).
+	NoRetries bool
+	// MaxInFlight caps the requests the whole set will carry concurrently;
+	// admission beyond it fails fast with ErrShed. 0 means unbounded.
+	MaxInFlight int
+	// HealthInterval is the period of the background health checker; 0
+	// disables it (health still updates from request outcomes).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe end to end, any redial
+	// included (default 2 s). A probe that overruns it counts as down.
+	HealthTimeout time.Duration
+}
+
+// DefaultRetries is the retry budget when Config.Retries is unset: two
+// failovers, so a request survives losing two replicas mid-flight.
+const DefaultRetries = 2
+
+// replica is one member of the set.
+type replica struct {
+	addr string
+
+	mu      sync.Mutex
+	pool    *transport.Pool // nil until first successful dial
+	dialing bool            // a (re)dial is in flight, outside the lock
+	dead    bool            // set by closePool; ensurePool refuses afterwards
+
+	healthy  atomic.Bool
+	probing  atomic.Bool // a health probe (possibly a slow redial) is running
+	inflight atomic.Int64
+	requests atomic.Uint64
+	failures atomic.Uint64
+}
+
+// ensurePool returns the replica's connection pool, dialing it on first
+// use (and after a failed startup) bounded by ctx. The pool itself
+// self-heals individual connections, so once created it is kept until
+// closePool. The dial runs outside r.mu with a single-flight guard:
+// concurrent requests landing on an undialed replica don't serialize
+// behind each other's dial attempts — the one dialer proceeds, everyone
+// else gets an immediate connection-classified refusal and fails over to
+// another replica. The dead flag is re-checked after the dial, so a
+// request racing Close can never strand a freshly dialed pool.
+func (r *replica) ensurePool(ctx context.Context, opt transport.DialOptions, size int) (*transport.Pool, error) {
+	r.mu.Lock()
+	if r.dead {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("routing: replica %s: set is closed (%w)", r.addr, transport.ErrRemote)
+	}
+	if r.pool != nil {
+		p := r.pool
+		r.mu.Unlock()
+		return p, nil
+	}
+	if r.dialing {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("routing: replica %s is being redialed (%w (%w))",
+			r.addr, transport.ErrConn, transport.ErrRemote)
+	}
+	r.dialing = true
+	r.mu.Unlock()
+	p, err := transport.DialPoolContext(ctx, r.addr, opt, size)
+	r.mu.Lock()
+	r.dialing = false
+	if err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	if r.dead {
+		r.mu.Unlock()
+		p.Close()
+		return nil, fmt.Errorf("routing: replica %s: set is closed (%w)", r.addr, transport.ErrRemote)
+	}
+	r.pool = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+func (r *replica) closePool() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dead = true
+	if r.pool != nil {
+		r.pool.Close()
+		r.pool = nil
+	}
+}
+
+// ReplicaSet fans one tier's traffic across N replicas. It satisfies the
+// cluster runtime's Remote and BatchRemote interfaces, so a Device (or a
+// Session) pointed at a ReplicaSet gets failover and load-aware routing
+// without knowing either exists. Safe for concurrent use.
+type ReplicaSet struct {
+	cfg      Config
+	policy   Policy
+	retries  int
+	poolSize int
+	replicas []*replica
+
+	total  atomic.Int64 // in-flight across the whole set, for admission
+	shed   atomic.Uint64
+	closed atomic.Bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New dials a replica set. At least one replica must be reachable;
+// unreachable ones start unhealthy and rejoin when a health probe or a
+// failover attempt reaches them.
+func New(cfg Config) (*ReplicaSet, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("routing: a replica set needs at least one address")
+	}
+	s := &ReplicaSet{
+		cfg:      cfg,
+		policy:   cfg.Policy,
+		retries:  cfg.Retries,
+		poolSize: cfg.PoolSize,
+		stop:     make(chan struct{}),
+	}
+	if s.policy == nil {
+		s.policy = RoundRobin()
+	}
+	if c, ok := s.policy.(Cloner); ok {
+		// Stateful policies are cloned per set, so one configured value
+		// fanned out across tiers doesn't interleave cursor/RNG state.
+		s.policy = c.ClonePolicy()
+	}
+	switch {
+	case cfg.NoRetries || s.retries < 0:
+		s.retries = 0
+	case s.retries == 0:
+		s.retries = DefaultRetries
+	}
+	if s.poolSize < 1 {
+		s.poolSize = 1
+	}
+	// Dial the replicas concurrently: set construction costs the slowest
+	// single dial, not the sum — one black-holed address must not stall
+	// startup for the reachable fleet.
+	for _, addr := range cfg.Addrs {
+		s.replicas = append(s.replicas, &replica{addr: addr})
+	}
+	dialErrs := make([]error, len(s.replicas))
+	var dialWG sync.WaitGroup
+	for i, r := range s.replicas {
+		dialWG.Add(1)
+		go func(i int, r *replica) {
+			defer dialWG.Done()
+			if _, err := r.ensurePool(context.Background(), cfg.Dial, s.poolSize); err != nil {
+				dialErrs[i] = err
+				return
+			}
+			r.healthy.Store(true)
+		}(i, r)
+	}
+	dialWG.Wait()
+	var lastErr error
+	reachable := 0
+	for i := range s.replicas {
+		if dialErrs[i] != nil {
+			lastErr = dialErrs[i]
+		} else {
+			reachable++
+		}
+	}
+	if reachable == 0 {
+		s.Close()
+		return nil, fmt.Errorf("routing: no replica reachable: %w", lastErr)
+	}
+	if cfg.HealthInterval > 0 {
+		s.wg.Add(1)
+		go s.healthLoop()
+	}
+	return s, nil
+}
+
+// healthLoop periodically probes every replica with the transport ping,
+// reviving members that recovered and expelling ones that stopped
+// answering — so routing converges on the live membership even when no
+// request happens to touch a broken replica.
+func (s *ReplicaSet) healthLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.CheckHealth()
+		}
+	}
+}
+
+// CheckHealth probes every replica once, concurrently, and updates their
+// health. Exposed so callers (and tests) can force a probe between ticks.
+// Every probe — redial included — is bounded by HealthTimeout, so one
+// black-holed replica (TCP accepts, then silence: a dial can hang for the
+// transport's own timeouts) cannot stall the probe cadence for the whole
+// set: the overrunning probe counts as down and keeps running off-ticker,
+// and no new probe starts for that replica until it resolves.
+func (s *ReplicaSet) CheckHealth() {
+	timeout := s.cfg.HealthTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	for _, r := range s.replicas {
+		if !r.probing.CompareAndSwap(false, true) {
+			continue // the previous probe is still stuck in a slow dial
+		}
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			verdict := make(chan bool, 1)
+			go func() {
+				defer r.probing.Store(false)
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				defer cancel()
+				pool, err := r.ensurePool(ctx, s.cfg.Dial, s.poolSize)
+				if err != nil {
+					verdict <- false
+					return
+				}
+				verdict <- pool.Ping(ctx) == nil
+			}()
+			select {
+			case ok := <-verdict:
+				r.healthy.Store(ok)
+			case <-time.After(timeout):
+				// The probe overran its budget; treat the replica as down.
+				// Its late verdict is discarded — a later in-budget probe
+				// (or a successful request) readmits the replica.
+				r.healthy.Store(false)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// choose runs the routing policy over the usable candidates: healthy
+// replicas not yet tried this request, then healthy ones, then untried
+// ones, then everyone — a request only gives up when the budget does.
+// Returns the chosen replica's index.
+func (s *ReplicaSet) choose(tried []bool) int {
+	idx := make([]int, 0, len(s.replicas))
+	pick := func(healthyOnly, skipTried bool) []int {
+		idx = idx[:0]
+		for i, r := range s.replicas {
+			if healthyOnly && !r.healthy.Load() {
+				continue
+			}
+			if skipTried && tried[i] {
+				continue
+			}
+			idx = append(idx, i)
+		}
+		return idx
+	}
+	candidates := pick(true, true)
+	if len(candidates) == 0 {
+		candidates = pick(true, false)
+	}
+	if len(candidates) == 0 {
+		candidates = pick(false, true)
+	}
+	if len(candidates) == 0 {
+		candidates = pick(false, false)
+	}
+	inflight := make([]int, len(candidates))
+	for k, i := range candidates {
+		inflight[k] = int(s.replicas[i].inflight.Load())
+	}
+	k := s.policy.Pick(inflight)
+	if k < 0 || k >= len(candidates) {
+		k = 0
+	}
+	return candidates[k]
+}
+
+// retryable reports whether a failed attempt should fail over to another
+// replica: only connection-level failures (transport.ErrConn) are — the
+// request never got a usable answer, so another replica may still produce
+// one. Application errors pass through unretried (the replica answered;
+// re-running a deterministic refusal elsewhere multiplies load for the
+// same answer), as do cancellation and deadline errors, local or shed by
+// a server, preserving the error taxonomy.
+func retryable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return errors.Is(err, transport.ErrConn)
+}
+
+// do runs one request through admission, policy choice, and the failover
+// loop.
+func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) error {
+	if s.closed.Load() {
+		return fmt.Errorf("routing: replica set is closed (%w)", transport.ErrRemote)
+	}
+	if limit := s.cfg.MaxInFlight; limit > 0 {
+		if s.total.Add(1) > int64(limit) {
+			s.total.Add(-1)
+			s.shed.Add(1)
+			return fmt.Errorf("%w (%d in flight) (%w)", ErrShed, limit, transport.ErrRemote)
+		}
+	} else {
+		s.total.Add(1)
+	}
+	defer s.total.Add(-1)
+
+	attempts := s.retries + 1
+	tried := make([]bool, len(s.replicas))
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			// The caller gave up between attempts: their ctx error is the
+			// answer (errors.Is must see it), with the last attempt's
+			// failure kept as annotation only.
+			if lastErr != nil {
+				return fmt.Errorf("routing: request abandoned after %d attempt(s): %w (last: %v)", a, err, lastErr)
+			}
+			return err
+		}
+		i := s.choose(tried)
+		tried[i] = true
+		r := s.replicas[i]
+		pool, err := r.ensurePool(ctx, s.cfg.Dial, s.poolSize)
+		if err != nil {
+			r.healthy.Store(false)
+			r.failures.Add(1)
+			lastErr = fmt.Errorf("routing: replica %s: %w", r.addr, err)
+			continue
+		}
+		r.requests.Add(1)
+		r.inflight.Add(1)
+		err = call(pool)
+		r.inflight.Add(-1)
+		if err == nil {
+			r.healthy.Store(true)
+			return nil
+		}
+		r.failures.Add(1)
+		lastErr = fmt.Errorf("routing: replica %s: %w", r.addr, err)
+		if errors.Is(err, transport.ErrConn) {
+			// The connection died — this replica is gone until a probe or a
+			// successful attempt proves otherwise.
+			r.healthy.Store(false)
+		}
+		if !retryable(ctx, err) {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("%w after %d attempt(s): %w", ErrExhausted, attempts, lastErr)
+}
+
+// DetectContext routes one window, failing over across replicas within the
+// retry budget (see package doc for the error taxonomy).
+func (s *ReplicaSet) DetectContext(ctx context.Context, frames [][]float64) (transport.DetectResult, error) {
+	var res transport.DetectResult
+	err := s.do(ctx, func(p *transport.Pool) error {
+		var err error
+		res, err = p.DetectContext(ctx, frames)
+		return err
+	})
+	return res, err
+}
+
+// Detect is DetectContext with context.Background().
+func (s *ReplicaSet) Detect(frames [][]float64) (transport.DetectResult, error) {
+	return s.DetectContext(context.Background(), frames)
+}
+
+// DetectBatchContext routes one batch, failing over across replicas within
+// the retry budget. A batch retries as a unit: verdict order and the
+// batch-shared network accounting are preserved across a failover.
+func (s *ReplicaSet) DetectBatchContext(ctx context.Context, windows [][][]float64) (transport.BatchResult, error) {
+	var res transport.BatchResult
+	err := s.do(ctx, func(p *transport.Pool) error {
+		var err error
+		res, err = p.DetectBatchContext(ctx, windows)
+		return err
+	})
+	return res, err
+}
+
+// DetectBatch is DetectBatchContext with context.Background().
+func (s *ReplicaSet) DetectBatch(windows [][][]float64) (transport.BatchResult, error) {
+	return s.DetectBatchContext(context.Background(), windows)
+}
+
+// FetchModelContext fetches the model snapshot from any healthy replica.
+func (s *ReplicaSet) FetchModelContext(ctx context.Context) (*transport.ModelSnapshot, error) {
+	var snap *transport.ModelSnapshot
+	err := s.do(ctx, func(p *transport.Pool) error {
+		var err error
+		snap, err = p.FetchModelContext(ctx)
+		return err
+	})
+	return snap, err
+}
+
+// PolicyName returns the routing policy's name.
+func (s *ReplicaSet) PolicyName() string { return s.policy.Name() }
+
+// Shed returns how many requests admission control has refused.
+func (s *ReplicaSet) Shed() uint64 { return s.shed.Load() }
+
+// ReplicaStatus is one replica's observable state.
+type ReplicaStatus struct {
+	Addr string
+	// Healthy is the routing view: false once a connection-level failure or
+	// a failed probe expelled the replica, true again after it answers.
+	Healthy bool
+	// InFlight is the requests currently riding this replica.
+	InFlight int
+	// Requests and Failures count attempts routed here and how many failed.
+	Requests, Failures uint64
+	// EvictedConns is how many broken connections the replica's pool has
+	// replaced.
+	EvictedConns uint64
+}
+
+// Status snapshots every replica, in Config.Addrs order.
+func (s *ReplicaSet) Status() []ReplicaStatus {
+	out := make([]ReplicaStatus, len(s.replicas))
+	for i, r := range s.replicas {
+		st := ReplicaStatus{
+			Addr:     r.addr,
+			Healthy:  r.healthy.Load(),
+			InFlight: int(r.inflight.Load()),
+			Requests: r.requests.Load(),
+			Failures: r.failures.Load(),
+		}
+		r.mu.Lock()
+		if r.pool != nil {
+			st.EvictedConns = r.pool.Evicted()
+		}
+		r.mu.Unlock()
+		out[i] = st
+	}
+	return out
+}
+
+// Close stops the health checker and closes every replica's connections.
+// Close is idempotent.
+func (s *ReplicaSet) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	close(s.stop)
+	s.wg.Wait()
+	for _, r := range s.replicas {
+		r.closePool()
+	}
+	return nil
+}

@@ -1,0 +1,428 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/anomaly"
+)
+
+// The pluggable wire codec. Every frame's payload is produced by a
+// FrameCodec; which codec a connection uses per frame is carried in the
+// frame header (see the high bit of the length prefix in frame.go), and
+// which codecs a peer accepts is negotiated once per connection with
+// OpHello. Two codecs exist:
+//
+//   - GobCodec (codec version 1): encoding/gob, the original format. It
+//     handles every operation — it is the only codec that can carry a
+//     ModelSnapshot — and remains the negotiated fallback, so old peers
+//     interoperate.
+//   - BinaryCodec (codec version 2): a hand-rolled little-endian layout for
+//     the hot RPCs (OpDetect / OpDetectBatch and their responses). Encoding
+//     appends into a caller-supplied buffer with zero reflection and zero
+//     steady-state allocations; decoding reads float64s straight out of the
+//     wire buffer into a single backing array per message. It refuses
+//     OpFetchModel (and any response carrying a Model) by design.
+//
+// The binary layouts are documented byte-for-byte in docs/PROTOCOL.md; a
+// property-style test pins BinaryCodec round trips to gob round trips.
+
+// Codec version numbers carried in the OpHello handshake.
+const (
+	// CodecVersionGob identifies the gob-only protocol spoken by peers that
+	// predate negotiation (and by peers configured to refuse the binary
+	// codec).
+	CodecVersionGob = 1
+	// CodecVersionBinary identifies the binary fast path for hot RPCs; gob
+	// still carries OpHello, OpFetchModel and model responses.
+	CodecVersionBinary = 2
+)
+
+// FrameCodec turns requests and responses into frame payloads and back.
+// Append* follow the append convention: they extend dst (which may be nil
+// or a recycled buffer) and return the extended slice, so steady-state
+// encoding costs no allocations.
+type FrameCodec interface {
+	// Name identifies the codec in logs and benchmarks.
+	Name() string
+	// AppendRequest appends req's payload encoding to dst.
+	AppendRequest(dst []byte, req *DetectRequest) ([]byte, error)
+	// DecodeRequest decodes a payload produced by AppendRequest into req.
+	DecodeRequest(payload []byte, req *DetectRequest) error
+	// AppendResponse appends resp's payload encoding to dst.
+	AppendResponse(dst []byte, resp *DetectResponse) ([]byte, error)
+	// DecodeResponse decodes a payload produced by AppendResponse into resp.
+	DecodeResponse(payload []byte, resp *DetectResponse) error
+}
+
+// GobCodec is the reflection-based gob codec, protocol version 1. It
+// handles every operation including model shipping.
+var GobCodec FrameCodec = gobCodec{}
+
+// BinaryCodec is the allocation-free binary codec, protocol version 2,
+// for the hot detection RPCs only.
+var BinaryCodec FrameCodec = binaryCodec{}
+
+// gobCodec adapts the package's gob encode/decode helpers to FrameCodec.
+type gobCodec struct{}
+
+func (gobCodec) Name() string { return "gob" }
+
+func (gobCodec) AppendRequest(dst []byte, req *DetectRequest) ([]byte, error) {
+	return appendGob(dst, req)
+}
+
+func (gobCodec) DecodeRequest(payload []byte, req *DetectRequest) error {
+	return decodeGob(payload, req)
+}
+
+func (gobCodec) AppendResponse(dst []byte, resp *DetectResponse) ([]byte, error) {
+	return appendGob(dst, resp)
+}
+
+func (gobCodec) DecodeResponse(payload []byte, resp *DetectResponse) error {
+	return decodeGob(payload, resp)
+}
+
+// binaryCodec implements the version-2 layout. All integers are
+// little-endian; floats are IEEE-754 bit patterns (bit-exact round trips,
+// including -0, NaN payloads and the zero floats gob encodes specially).
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string { return "binary" }
+
+func (binaryCodec) AppendRequest(dst []byte, req *DetectRequest) ([]byte, error) {
+	switch req.Op {
+	case OpDetect, OpDetectBatch:
+	default:
+		return dst, fmt.Errorf("transport: binary codec cannot carry op %d", req.Op)
+	}
+	dst = append(dst, CodecVersionBinary)
+	dst = appendU64(dst, req.ID)
+	dst = append(dst, byte(req.Op))
+	dst = appendU64(dst, uint64(req.DeadlineUnixMicro))
+	if req.Op == OpDetect {
+		return appendFrames(dst, req.Frames), nil
+	}
+	dst = appendU32(dst, uint32(len(req.Windows)))
+	for _, w := range req.Windows {
+		dst = appendFrames(dst, w)
+	}
+	return dst, nil
+}
+
+func (binaryCodec) DecodeRequest(payload []byte, req *DetectRequest) error {
+	cur := cursor{b: payload}
+	if v := cur.u8(); v != CodecVersionBinary {
+		return fmt.Errorf("transport: binary request has codec version %d, want %d", v, CodecVersionBinary)
+	}
+	req.ID = cur.u64()
+	req.Op = Op(cur.u8())
+	req.DeadlineUnixMicro = int64(cur.u64())
+	req.Frames, req.Windows = nil, nil
+	switch req.Op {
+	case OpDetect:
+		req.Frames = cur.frames()
+	case OpDetectBatch:
+		n := cur.cnt()
+		if cur.err == nil && n > 0 {
+			if n > cur.remaining()/4 {
+				cur.fail("window count %d exceeds payload", n)
+			} else {
+				ws := make([][][]float64, n)
+				for i := range ws {
+					ws[i] = cur.frames()
+				}
+				req.Windows = ws
+			}
+		}
+	default:
+		return fmt.Errorf("transport: binary request carries op %d", req.Op)
+	}
+	return cur.finish("request")
+}
+
+func (binaryCodec) AppendResponse(dst []byte, resp *DetectResponse) ([]byte, error) {
+	if resp.Model != nil {
+		return dst, fmt.Errorf("transport: binary codec cannot carry a model snapshot")
+	}
+	dst = append(dst, CodecVersionBinary)
+	dst = appendU64(dst, resp.ID)
+	dst = appendVerdict(dst, resp.Verdict)
+	dst = appendF64(dst, resp.ExecMs)
+	dst = appendF64(dst, resp.ProcMs)
+	dst = appendStr(dst, resp.Err)
+	dst = appendStr(dst, resp.Code)
+	dst = appendU32(dst, uint32(len(resp.Verdicts)))
+	for _, v := range resp.Verdicts {
+		dst = appendVerdict(dst, v)
+	}
+	dst = appendU32(dst, uint32(len(resp.ExecMsEach)))
+	for _, e := range resp.ExecMsEach {
+		dst = appendF64(dst, e)
+	}
+	return dst, nil
+}
+
+func (binaryCodec) DecodeResponse(payload []byte, resp *DetectResponse) error {
+	cur := cursor{b: payload}
+	if v := cur.u8(); v != CodecVersionBinary {
+		return fmt.Errorf("transport: binary response has codec version %d, want %d", v, CodecVersionBinary)
+	}
+	*resp = DetectResponse{}
+	resp.ID = cur.u64()
+	resp.Verdict = cur.verdict()
+	resp.ExecMs = cur.f64()
+	resp.ProcMs = cur.f64()
+	resp.Err = cur.str()
+	resp.Code = cur.str()
+	if n := cur.cnt(); cur.err == nil && n > 0 {
+		if n > cur.remaining()/verdictWireBytes {
+			cur.fail("verdict count %d exceeds payload", n)
+		} else {
+			vs := make([]anomaly.Verdict, n)
+			for i := range vs {
+				vs[i] = cur.verdict()
+			}
+			resp.Verdicts = vs
+		}
+	}
+	if n := cur.cnt(); cur.err == nil && n > 0 {
+		if n > cur.remaining()/8 {
+			cur.fail("exec-time count %d exceeds payload", n)
+		} else {
+			es := make([]float64, n)
+			for i := range es {
+				es[i] = cur.f64()
+			}
+			resp.ExecMsEach = es
+		}
+	}
+	return cur.finish("response")
+}
+
+// verdictWireBytes is the encoded size of one anomaly.Verdict: a flag byte
+// plus two float64s.
+const verdictWireBytes = 1 + 8 + 8
+
+// Append helpers (little-endian).
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendVerdict(b []byte, v anomaly.Verdict) []byte {
+	var flags byte
+	if v.Anomaly {
+		flags |= 1
+	}
+	if v.Confident {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = appendF64(b, v.MinLogPD)
+	return appendF64(b, v.AnomalousFraction)
+}
+
+// appendFrames encodes one T×D window: frame count, then per frame a length
+// and the raw float64 bit patterns (frames may be ragged on the wire even
+// though real windows are rectangular).
+func appendFrames(b []byte, frames [][]float64) []byte {
+	b = appendU32(b, uint32(len(frames)))
+	for _, f := range frames {
+		b = appendU32(b, uint32(len(f)))
+		for _, x := range f {
+			b = appendF64(b, x)
+		}
+	}
+	return b
+}
+
+// cursor walks a payload, latching the first decode error so call sites
+// stay linear instead of checking every read.
+type cursor struct {
+	b   []byte
+	i   int
+	err error
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.i }
+
+func (c *cursor) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (c *cursor) need(n int) bool {
+	if c.err != nil {
+		return false
+	}
+	if c.remaining() < n {
+		c.fail("payload truncated at byte %d (need %d more)", c.i, n)
+		return false
+	}
+	return true
+}
+
+func (c *cursor) u8() byte {
+	if !c.need(1) {
+		return 0
+	}
+	v := c.b[c.i]
+	c.i++
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if !c.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.i:])
+	c.i += 4
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if !c.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.i:])
+	c.i += 8
+	return v
+}
+
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+// cnt reads a u32 count/length field as an int. Any count beyond the
+// frame-size cap is invalid (a payload never exceeds 16 MiB), and since
+// the cap is far below 2³¹ the int conversion stays non-negative on
+// 32-bit platforms — a crafted high count fails cleanly instead of
+// sidestepping the bounds checks via sign wraparound.
+func (c *cursor) cnt() int {
+	v := c.u32()
+	if v > maxMessageBytes {
+		c.fail("count %d exceeds the frame cap", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (c *cursor) str() string {
+	n := c.cnt()
+	if n == 0 || !c.need(n) {
+		return ""
+	}
+	s := string(c.b[c.i : c.i+n])
+	c.i += n
+	return s
+}
+
+func (c *cursor) verdict() anomaly.Verdict {
+	flags := c.u8()
+	return anomaly.Verdict{
+		Anomaly:           flags&1 != 0,
+		Confident:         flags&2 != 0,
+		MinLogPD:          c.f64(),
+		AnomalousFraction: c.f64(),
+	}
+}
+
+// frames decodes one window. It pre-scans the frame lengths so every
+// float64 in the window lands in a single backing array — one allocation
+// for the values plus one for the frame headers, however many frames the
+// window has.
+func (c *cursor) frames() [][]float64 {
+	n := c.cnt()
+	if c.err != nil || n == 0 {
+		return nil
+	}
+	if n > c.remaining()/4 {
+		c.fail("frame count %d exceeds payload", n)
+		return nil
+	}
+	// First pass: walk the lengths to size the backing array. Lengths are
+	// compared in uint64 so a crafted 2³¹-plus value cannot wrap negative
+	// on 32-bit platforms.
+	total, j := 0, c.i
+	for f := 0; f < n; f++ {
+		if len(c.b)-j < 4 {
+			c.fail("payload truncated in frame %d header", f)
+			return nil
+		}
+		fl := binary.LittleEndian.Uint32(c.b[j:])
+		j += 4
+		if uint64(fl)*8 > uint64(len(c.b)-j) {
+			c.fail("frame %d claims %d values beyond payload", f, fl)
+			return nil
+		}
+		total += int(fl)
+		j += int(fl) * 8
+	}
+	backing := make([]float64, total)
+	frames := make([][]float64, n)
+	at := 0
+	for f := range frames {
+		fl := int(c.u32()) // pre-scanned above; fits the payload
+		row := backing[at : at+fl : at+fl]
+		for k := range row {
+			row[k] = c.f64()
+		}
+		frames[f] = row
+		at += fl
+	}
+	return frames
+}
+
+// BenchBatch builds the canonical hot-RPC benchmark workload: a
+// DetectBatch request of `batch` univariate weekly windows (672×1) and its
+// response. The package's Go benchmarks and hecbench's BENCH_N.json
+// snapshot both use it, so the CI codec-acceptance gate and
+// BenchmarkCodecGob/Binary always measure the same bytes.
+func BenchBatch(batch int) (*DetectRequest, *DetectResponse) {
+	windows := make([][][]float64, batch)
+	for w := range windows {
+		win := make([][]float64, 672)
+		for i := range win {
+			win[i] = []float64{float64(i%7)*0.13 + float64(w)*1e-3}
+		}
+		windows[w] = win
+	}
+	req := &DetectRequest{ID: 9, Op: OpDetectBatch, Windows: windows, DeadlineUnixMicro: 1}
+	resp := &DetectResponse{
+		ID: 9, ProcMs: 1.5,
+		Verdicts:   make([]anomaly.Verdict, batch),
+		ExecMsEach: make([]float64, batch),
+	}
+	for i := range resp.Verdicts {
+		resp.Verdicts[i] = anomaly.Verdict{Anomaly: i%3 == 0, MinLogPD: -float64(i) * 0.7, AnomalousFraction: 0.01 * float64(i)}
+		resp.ExecMsEach[i] = 3.25
+	}
+	return req, resp
+}
+
+// finish reports the latched error, if any, plus trailing garbage.
+func (c *cursor) finish(what string) error {
+	if c.err != nil {
+		return fmt.Errorf("transport: decoding binary %s: %w", what, c.err)
+	}
+	if c.remaining() != 0 {
+		return fmt.Errorf("transport: binary %s carries %d trailing bytes", what, c.remaining())
+	}
+	return nil
+}

@@ -1,0 +1,388 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/anomaly"
+)
+
+// randFrames builds an irregular window: ragged rows, and values drawn
+// from a pool that deliberately includes the shapes float64 encoding is
+// touchiest about — exact zeros (gob encodes them in one byte;
+// transport_test.go's size test documents the quirk), negative zero,
+// infinities, NaN, denormals and ordinary irregular values.
+func randFrames(rng *rand.Rand, maxRows, maxCols int) [][]float64 {
+	special := []float64{
+		0, math.Copysign(0, -1), 1, -1, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, 1e-300, -1e-300,
+	}
+	rows := rng.Intn(maxRows + 1) // may be empty
+	frames := make([][]float64, rows)
+	for i := range frames {
+		cols := rng.Intn(maxCols + 1) // rows may be ragged and empty
+		row := make([]float64, cols)
+		for j := range row {
+			if rng.Intn(3) == 0 {
+				row[j] = special[rng.Intn(len(special))]
+			} else {
+				row[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(9)-4))
+			}
+		}
+		frames[i] = row
+	}
+	return frames
+}
+
+func randVerdict(rng *rand.Rand) anomaly.Verdict {
+	return anomaly.Verdict{
+		Anomaly:           rng.Intn(2) == 0,
+		Confident:         rng.Intn(2) == 0,
+		MinLogPD:          rng.NormFloat64() * 100,
+		AnomalousFraction: rng.Float64(),
+	}
+}
+
+// roundTripRequest runs req through the given codec and returns the decode.
+func roundTripRequest(t *testing.T, c FrameCodec, req *DetectRequest) *DetectRequest {
+	t.Helper()
+	payload, err := c.AppendRequest(nil, req)
+	if err != nil {
+		t.Fatalf("%s AppendRequest: %v", c.Name(), err)
+	}
+	out := new(DetectRequest)
+	if err := c.DecodeRequest(payload, out); err != nil {
+		t.Fatalf("%s DecodeRequest: %v", c.Name(), err)
+	}
+	return out
+}
+
+func roundTripResponse(t *testing.T, c FrameCodec, resp *DetectResponse) *DetectResponse {
+	t.Helper()
+	payload, err := c.AppendResponse(nil, resp)
+	if err != nil {
+		t.Fatalf("%s AppendResponse: %v", c.Name(), err)
+	}
+	out := new(DetectResponse)
+	if err := c.DecodeResponse(payload, out); err != nil {
+		t.Fatalf("%s DecodeResponse: %v", c.Name(), err)
+	}
+	return out
+}
+
+// sameF64 compares float64s bitwise so NaN == NaN and 0 != -0: the wire
+// must preserve the exact bits, not just the value.
+func sameF64(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func sameFrames(t *testing.T, what string, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d rows vs %d rows", what, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s row %d: %d cols vs %d cols", what, i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if !sameF64(a[i][j], b[i][j]) {
+				t.Fatalf("%s[%d][%d]: %x vs %x", what, i, j,
+					math.Float64bits(a[i][j]), math.Float64bits(b[i][j]))
+			}
+		}
+	}
+}
+
+func sameVerdict(t *testing.T, what string, a, b anomaly.Verdict) {
+	t.Helper()
+	if a.Anomaly != b.Anomaly || a.Confident != b.Confident ||
+		!sameF64(a.MinLogPD, b.MinLogPD) || !sameF64(a.AnomalousFraction, b.AnomalousFraction) {
+		t.Fatalf("%s: %+v vs %+v", what, a, b)
+	}
+}
+
+// TestCodecEquivalenceRequests is the property-style equivalence test: for
+// randomized irregular payloads, the binary codec's round trip must agree
+// with gob's round trip field by field, bit by bit — including the all-zero
+// float windows gob encodes specially.
+func TestCodecEquivalenceRequests(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		req := &DetectRequest{
+			ID:                rng.Uint64(),
+			Op:                OpDetect,
+			DeadlineUnixMicro: rng.Int63() - rng.Int63(),
+			Frames:            randFrames(rng, 6, 8),
+		}
+		if trial%2 == 1 {
+			req.Op = OpDetectBatch
+			req.Frames = nil
+			req.Windows = make([][][]float64, rng.Intn(5))
+			for i := range req.Windows {
+				req.Windows[i] = randFrames(rng, 6, 8)
+			}
+			if len(req.Windows) == 0 {
+				req.Windows = nil
+			}
+		}
+		bin := roundTripRequest(t, BinaryCodec, req)
+		gob := roundTripRequest(t, GobCodec, req)
+		if bin.ID != gob.ID || bin.Op != gob.Op || bin.DeadlineUnixMicro != gob.DeadlineUnixMicro {
+			t.Fatalf("trial %d header: binary %+v vs gob %+v", trial, bin, gob)
+		}
+		sameFrames(t, "Frames", bin.Frames, gob.Frames)
+		if len(bin.Windows) != len(gob.Windows) {
+			t.Fatalf("trial %d: %d windows vs %d", trial, len(bin.Windows), len(gob.Windows))
+		}
+		for i := range bin.Windows {
+			sameFrames(t, "Windows", bin.Windows[i], gob.Windows[i])
+		}
+	}
+}
+
+// TestCodecEquivalenceResponses does the same for DetectResponse, covering
+// the explicit zero-float case from transport_test.go's size-limit test:
+// gob encodes zero floats in one byte, and the binary codec must decode to
+// the identical zeros.
+func TestCodecEquivalenceResponses(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		resp := &DetectResponse{
+			ID:      rng.Uint64(),
+			Verdict: randVerdict(rng),
+			ExecMs:  rng.NormFloat64() * 10,
+			ProcMs:  rng.NormFloat64() * 10,
+		}
+		switch trial % 4 {
+		case 1:
+			resp.Err = "remote detection failed: bad window"
+			resp.Code = CodeExpired
+		case 2:
+			n := 1 + rng.Intn(8)
+			resp.Verdicts = make([]anomaly.Verdict, n)
+			for i := range resp.Verdicts {
+				resp.Verdicts[i] = randVerdict(rng)
+			}
+			resp.ExecMsEach = make([]float64, n)
+			for i := range resp.ExecMsEach {
+				resp.ExecMsEach[i] = rng.Float64() * 50
+			}
+		case 3:
+			// The all-zeros shape gob compresses hardest: zero verdict, zero
+			// times, zero batch entries.
+			*resp = DetectResponse{ID: resp.ID, Verdicts: make([]anomaly.Verdict, 3), ExecMsEach: make([]float64, 3)}
+		}
+		bin := roundTripResponse(t, BinaryCodec, resp)
+		gob := roundTripResponse(t, GobCodec, resp)
+		if bin.ID != gob.ID || bin.Err != gob.Err || bin.Code != gob.Code {
+			t.Fatalf("trial %d header: binary %+v vs gob %+v", trial, bin, gob)
+		}
+		sameVerdict(t, "Verdict", bin.Verdict, gob.Verdict)
+		if !sameF64(bin.ExecMs, gob.ExecMs) || !sameF64(bin.ProcMs, gob.ProcMs) {
+			t.Fatalf("trial %d times differ: %+v vs %+v", trial, bin, gob)
+		}
+		if len(bin.Verdicts) != len(gob.Verdicts) || len(bin.ExecMsEach) != len(gob.ExecMsEach) {
+			t.Fatalf("trial %d batch lengths differ", trial)
+		}
+		for i := range bin.Verdicts {
+			sameVerdict(t, "Verdicts", bin.Verdicts[i], gob.Verdicts[i])
+		}
+		for i := range bin.ExecMsEach {
+			if !sameF64(bin.ExecMsEach[i], gob.ExecMsEach[i]) {
+				t.Fatalf("trial %d ExecMsEach[%d] differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestBinaryCodecRefusesModelTraffic pins the codec split: model frames
+// are gob's job.
+func TestBinaryCodecRefusesModelTraffic(t *testing.T) {
+	if _, err := BinaryCodec.AppendRequest(nil, &DetectRequest{Op: OpFetchModel}); err == nil {
+		t.Fatal("binary codec must refuse OpFetchModel requests")
+	}
+	if _, err := BinaryCodec.AppendResponse(nil, &DetectResponse{Model: &ModelSnapshot{}}); err == nil {
+		t.Fatal("binary codec must refuse model responses")
+	}
+}
+
+// TestBinaryCodecRejectsCorruptPayloads fuzzes truncations and bit flips:
+// decode must error, never panic or over-allocate.
+func TestBinaryCodecRejectsCorruptPayloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	req := &DetectRequest{
+		ID: 7, Op: OpDetectBatch,
+		Windows: [][][]float64{randFrames(rng, 4, 4), randFrames(rng, 4, 4)},
+	}
+	payload, err := BinaryCodec.AppendRequest(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(payload); cut += 3 {
+		_ = BinaryCodec.DecodeRequest(payload[:cut], new(DetectRequest)) // must not panic
+	}
+	for trial := 0; trial < 200; trial++ {
+		mutated := append([]byte(nil), payload...)
+		mutated[rng.Intn(len(mutated))] ^= byte(1 << rng.Intn(8))
+		_ = BinaryCodec.DecodeRequest(mutated, new(DetectRequest)) // must not panic
+	}
+	// Trailing garbage is an error, not silently ignored.
+	if err := BinaryCodec.DecodeRequest(append(payload, 0xFF), new(DetectRequest)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+// TestCodecNegotiationMatrix pins the four peer pairings of the
+// compatibility matrix in docs/PROTOCOL.md: the binary fast path is used
+// exactly when both ends speak it, and verdicts agree either way.
+func TestCodecNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		serverMax  uint8 // 0 = default (binary)
+		clientMode CodecMode
+		wantBinary bool
+	}{
+		{"new client, new server", 0, CodecAuto, true},
+		{"new client, old server", CodecVersionGob, CodecAuto, false},
+		{"old client, new server", 0, CodecGobOnly, false},
+		{"old client, old server", CodecVersionGob, CodecGobOnly, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := startServerWith(t, ServerOptions{MaxCodecVersion: tc.serverMax})
+			cli, err := DialWith(srv.Addr(), DialOptions{Codec: tc.clientMode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cli.Close()
+			if cli.Binary() != tc.wantBinary {
+				t.Fatalf("negotiated binary = %v, want %v", cli.Binary(), tc.wantBinary)
+			}
+			res, err := cli.Detect([][]float64{{2}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verdict.Anomaly {
+				t.Fatalf("verdict = %+v, want anomaly", res.Verdict)
+			}
+			batch, err := cli.DetectBatch([][][]float64{{{2}}, {{0.5}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !batch.Verdicts[0].Anomaly || batch.Verdicts[1].Anomaly {
+				t.Fatalf("batch verdicts = %+v", batch.Verdicts)
+			}
+		})
+	}
+}
+
+// TestBinaryConnectionStillShipsModels checks the per-frame codec split on
+// one live connection: after negotiating binary, Detect rides the fast
+// path while FetchModel still round-trips the gob-only snapshot.
+func TestBinaryConnectionStillShipsModels(t *testing.T) {
+	snap := &ModelSnapshot{Kind: "autoencoder", Tier: "Edge", InputDim: 4}
+	srv := startServerWith(t, ServerOptions{Model: snap})
+	cli, err := DialWith(srv.Addr(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if !cli.Binary() {
+		t.Fatal("expected binary negotiation against a default server")
+	}
+	if _, err := cli.Detect([][]float64{{2}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.FetchModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != snap.Kind || got.Tier != snap.Tier || got.InputDim != snap.InputDim {
+		t.Fatalf("model snapshot mangled: %+v", got)
+	}
+}
+
+// silentListener accepts TCP connections and never answers — the
+// black-holed peer whose hello can only time out.
+func silentListener(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	return lis
+}
+
+// TestNegotiationFailureTaxonomy pins how a hello that never comes back
+// (peer accepts TCP, then silence) classifies, for both halves of the
+// contract: the caller's own deadline is preserved as DeadlineExceeded,
+// while the handshake's internal budget — a transport implementation
+// detail — surfaces as a connection failure so routing layers expel the
+// replica and fail over instead of misreading it as the caller's deadline.
+func TestNegotiationFailureTaxonomy(t *testing.T) {
+	t.Run("caller deadline preserved", func(t *testing.T) {
+		lis := silentListener(t)
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := DialContext(ctx, lis.Addr().String(), DialOptions{})
+		if err == nil {
+			t.Fatal("dialing a silent peer must fail negotiation")
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("negotiation failure took %v despite a 200ms ctx", elapsed)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want the caller's DeadlineExceeded preserved", err)
+		}
+	})
+	t.Run("internal budget is a conn failure", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("waits out the 5s handshake budget")
+		}
+		lis := silentListener(t)
+		start := time.Now()
+		_, err := DialWith(lis.Addr().String(), DialOptions{})
+		if err == nil {
+			t.Fatal("dialing a silent peer must fail negotiation")
+		}
+		if elapsed := time.Since(start); elapsed > 8*time.Second {
+			t.Fatalf("negotiation failure took %v despite the 5s budget", elapsed)
+		}
+		if !errors.Is(err, ErrConn) || !errors.Is(err, ErrRemote) {
+			t.Fatalf("err = %v, want ErrConn within ErrRemote", err)
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("handshake budget leaked as the caller's deadline: %v", err)
+		}
+	})
+}
+
+// TestPingAcceptsOldServers pins Ping's contract: an "unknown op" reply
+// from a pre-OpHello peer is still proof of life.
+func TestPingAcceptsOldServers(t *testing.T) {
+	srv := startServerWith(t, ServerOptions{MaxCodecVersion: CodecVersionGob})
+	cli, err := DialWith(srv.Addr(), DialOptions{Codec: CodecGobOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Ping(context.Background()); err != nil {
+		t.Fatalf("ping against an old-codec server: %v", err)
+	}
+}

@@ -1,17 +1,22 @@
 // Package transport implements the testbed's communication layer: length-
-// prefixed gob messages over keep-alive TCP connections (the paper keeps
+// prefixed messages over keep-alive TCP connections (the paper keeps
 // sockets open "to reduce the overhead of connection establishment"), a
 // detection-service server for hosting a layer's model, client-side one-way
 // delay injection emulating the paper's tc-configured WAN links, request-ID
 // multiplexing so one connection pipelines many in-flight requests, a
-// client connection pool, a batch-detection RPC that ships N windows per
-// request through the vectorised detection engine, and a model-shipping RPC
-// so a node that trained a detector can hand its weights to peers.
+// self-healing client connection pool, a batch-detection RPC that ships N
+// windows per request through the vectorised detection engine, and a
+// model-shipping RPC so a node that trained a detector can hand its weights
+// to peers.
 //
+// Frames are encoded by a pluggable codec (codec.go): gob for everything —
+// the negotiated fallback old peers speak — plus a hand-rolled binary fast
+// path for the hot detection RPCs, negotiated per connection with OpHello.
 // The wire format is documented in docs/PROTOCOL.md.
 package transport
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/gob"
@@ -35,10 +40,25 @@ import (
 // separate "the remote failed" from "I gave up".
 var ErrRemote = errors.New("transport: remote failure")
 
+// ErrConn marks the subset of ErrRemote failures where the connection
+// itself died (dial failure, peer dropped, send failed) rather than the
+// peer answering with an application error. Routing layers use it to tell
+// "this replica is unreachable — evict and fail over" apart from "this
+// replica is healthy but refused the request". Every ErrConn error also
+// wraps ErrRemote.
+var ErrConn = errors.New("transport: connection failure")
+
 // maxMessageBytes bounds a single message; a 128×18 float64 window is
 // ~18 KB and the largest model snapshot (AE-Cloud) ~4.3 MB, so 16 MB leaves
 // ample room while preventing hostile allocations.
 const maxMessageBytes = 16 << 20
+
+// binaryFrameFlag is the high bit of the length prefix, flagging a frame
+// whose payload was encoded with BinaryCodec instead of gob. Legal lengths
+// never reach it (the 16 MiB cap is far below 2^31), and peers only emit
+// flagged frames after OpHello negotiation proved the other side decodes
+// them — so a pre-negotiation peer never sees the bit set.
+const binaryFrameFlag = 1 << 31
 
 // maxInFlightPerConn bounds the requests a server handles concurrently on
 // one connection. When a peer pipelines faster than the detector drains,
@@ -58,9 +78,15 @@ const (
 	OpFetchModel
 	// OpDetectBatch asks the server to judge many windows in one request —
 	// the batch-inference RPC: one wire round trip and one vectorised
-	// detection pass amortise framing, gob codec and link latency over the
+	// detection pass amortise framing, codec work and link latency over the
 	// whole batch.
 	OpDetectBatch
+	// OpHello negotiates the wire codec (and doubles as the liveness ping):
+	// the client announces the highest codec version it speaks, the server
+	// answers with the version the connection will use for hot RPCs. Peers
+	// that predate OpHello answer "unknown op" — a well-formed response, so
+	// the client simply stays on gob and the ping still counts as alive.
+	OpHello
 )
 
 // DetectRequest is the client→server message. ID is echoed back in the
@@ -79,6 +105,9 @@ type DetectRequest struct {
 	// loosely synchronised clocks; see docs/PROTOCOL.md for the
 	// compatibility and skew notes.
 	DeadlineUnixMicro int64
+	// CodecVersion is the highest codec version the sender speaks
+	// (OpHello only; zero elsewhere).
+	CodecVersion uint8
 }
 
 // Response codes carried in DetectResponse.Code, distinguishing error
@@ -112,6 +141,9 @@ type DetectResponse struct {
 	// entry per requested window (ExecMsEach mirrors ExecMs per window).
 	Verdicts   []anomaly.Verdict
 	ExecMsEach []float64
+	// CodecVersion is the codec the server chose for this connection's hot
+	// RPCs (OpHello responses only; zero elsewhere).
+	CodecVersion uint8
 }
 
 // ModelSnapshot is a detector shipped over the wire: the nn.Snapshot of its
@@ -136,24 +168,44 @@ type ModelSnapshot struct {
 	Conf anomaly.Confidence
 }
 
-// writeMsg encodes v with gob behind a 4-byte big-endian length prefix.
-func writeMsg(w io.Writer, v any) error {
-	var payload payloadBuffer
-	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
-		return fmt.Errorf("transport: encoding message: %w", err)
+// appendGob appends v's gob encoding to dst (one encoder state per message,
+// so frames stay self-contained) and returns the extended slice.
+func appendGob(dst []byte, v any) ([]byte, error) {
+	pb := payloadBuffer{buf: dst}
+	if err := gob.NewEncoder(&pb).Encode(v); err != nil {
+		return dst, fmt.Errorf("transport: encoding message: %w", err)
 	}
-	if len(payload.buf) > maxMessageBytes {
-		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(payload.buf))
-	}
-	var prefix [4]byte
-	binary.BigEndian.PutUint32(prefix[:], uint32(len(payload.buf)))
-	if _, err := w.Write(prefix[:]); err != nil {
-		return fmt.Errorf("transport: writing length prefix: %w", err)
-	}
-	if _, err := w.Write(payload.buf); err != nil {
-		return fmt.Errorf("transport: writing payload: %w", err)
+	return pb.buf, nil
+}
+
+// decodeGob decodes one gob payload into v.
+func decodeGob(payload []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decoding message: %w", err)
 	}
 	return nil
+}
+
+// writeMsg writes v as one gob frame — the legacy wire form. Kept for
+// tests that play a pre-negotiation peer speaking raw gob.
+func writeMsg(w io.Writer, v any) error {
+	payload, err := appendGob(nil, v)
+	if err != nil {
+		return err
+	}
+	return writeFrame(w, payload, false)
+}
+
+// readMsg reads one frame and decodes it as gob — the legacy wire form.
+func readMsg(r io.Reader, v any) error {
+	payload, binaryPayload, err := readFrame(r, nil)
+	if err != nil {
+		return err
+	}
+	if binaryPayload {
+		return fmt.Errorf("transport: unexpected binary frame on a gob-only read")
+	}
+	return decodeGob(payload, v)
 }
 
 // payloadBuffer is a minimal growable write buffer (bytes.Buffer without
@@ -165,40 +217,51 @@ func (b *payloadBuffer) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// readMsg decodes one length-prefixed gob message into v.
-func readMsg(r io.Reader, v any) error {
-	var prefix [4]byte
-	if _, err := io.ReadFull(r, prefix[:]); err != nil {
-		return err // io.EOF passes through for clean shutdown detection
+// writeFrame writes one frame: the 4-byte big-endian length prefix (with
+// the codec flag in the high bit) followed by the payload. Oversized
+// payloads are rejected before anything hits the wire, leaving the
+// connection usable.
+func writeFrame(w io.Writer, payload []byte, binaryPayload bool) error {
+	if len(payload) > maxMessageBytes {
+		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(payload))
 	}
-	n := binary.BigEndian.Uint32(prefix[:])
-	if n > maxMessageBytes {
-		return fmt.Errorf("transport: incoming message of %d bytes exceeds limit", n)
+	prefix := uint32(len(payload))
+	if binaryPayload {
+		prefix |= binaryFrameFlag
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return fmt.Errorf("transport: reading payload: %w", err)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], prefix)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: writing length prefix: %w", err)
 	}
-	if err := gob.NewDecoder(byteReader{payload, 0}.reader()).Decode(v); err != nil {
-		return fmt.Errorf("transport: decoding message: %w", err)
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: writing payload: %w", err)
 	}
 	return nil
 }
 
-type byteReader struct {
-	b []byte
-	i int
-}
-
-func (br byteReader) reader() io.Reader { r := br; return &r }
-
-func (br *byteReader) Read(p []byte) (int, error) {
-	if br.i >= len(br.b) {
-		return 0, io.EOF
+// readFrame reads one frame, reusing buf's storage when it is big enough,
+// and reports which codec the flag bit announced. The returned payload is
+// only valid until the next readFrame on the same buf.
+func readFrame(r io.Reader, buf []byte) (payload []byte, binaryPayload bool, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, false, err // io.EOF passes through for clean shutdown detection
 	}
-	n := copy(p, br.b[br.i:])
-	br.i += n
-	return n, nil
+	prefix := binary.BigEndian.Uint32(hdr[:])
+	binaryPayload = prefix&binaryFrameFlag != 0
+	n := prefix &^ binaryFrameFlag
+	if n > maxMessageBytes {
+		return nil, false, fmt.Errorf("transport: incoming message of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, false, fmt.Errorf("transport: reading payload: %w", err)
+	}
+	return payload, binaryPayload, nil
 }
 
 // ServerOptions configures ServeWith.
@@ -208,6 +271,11 @@ type ServerOptions struct {
 	ExecMs func(frames int) float64
 	// Model, if non-nil, is served to peers on OpFetchModel.
 	Model *ModelSnapshot
+	// MaxCodecVersion caps what the server concedes during OpHello
+	// negotiation; 0 means CodecVersionBinary (the newest). Setting
+	// CodecVersionGob makes the server behave like a pre-binary build,
+	// which is how the compatibility matrix is tested without one.
+	MaxCodecVersion uint8
 }
 
 // Server hosts one layer's detector over TCP. Each accepted connection is
@@ -219,6 +287,7 @@ type Server struct {
 	detector anomaly.Detector
 	execMs   func(frames int) float64
 	model    *ModelSnapshot
+	maxCodec uint8
 
 	lis    net.Listener
 	wg     sync.WaitGroup
@@ -238,11 +307,18 @@ func ServeWith(addr string, det anomaly.Detector, opt ServerOptions) (*Server, e
 	if det == nil {
 		return nil, errors.New("transport: Serve requires a detector")
 	}
+	maxCodec := opt.MaxCodecVersion
+	if maxCodec == 0 {
+		maxCodec = CodecVersionBinary
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &Server{detector: det, execMs: opt.ExecMs, model: opt.Model, lis: lis, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		detector: det, execMs: opt.ExecMs, model: opt.Model, maxCodec: maxCodec,
+		lis: lis, conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -282,8 +358,10 @@ func (s *Server) acceptLoop() {
 func (s *Server) serveConn(conn net.Conn) {
 	var (
 		wmu      sync.Mutex // serialises response writes on this connection
+		wbuf     []byte     // response encode buffer, guarded by wmu
 		inflight sync.WaitGroup
 		slots    = make(chan struct{}, maxInFlightPerConn)
+		rbuf     []byte // frame read buffer, owned by this loop
 	)
 	defer func() {
 		inflight.Wait()
@@ -293,9 +371,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
+		payload, binaryReq, err := readFrame(conn, rbuf)
+		if err != nil {
+			return // peer closed, drain deadline hit, or protocol error
+		}
+		rbuf = payload[:cap(payload)]
 		req := new(DetectRequest)
-		if err := readMsg(conn, req); err != nil {
-			return // peer closed or protocol error; drop the connection
+		if binaryReq {
+			err = BinaryCodec.DecodeRequest(payload, req)
+		} else {
+			err = GobCodec.DecodeRequest(payload, req)
+		}
+		if err != nil {
+			return // undecodable frame; the stream position is lost
 		}
 		slots <- struct{}{} // backpressure: stop reading when saturated
 		inflight.Add(1)
@@ -305,12 +393,27 @@ func (s *Server) serveConn(conn net.Conn) {
 				inflight.Done()
 			}()
 			resp := s.handle(req)
+			// Respond in the request's codec: a peer only sends binary
+			// frames once negotiation proved both sides decode them. Model
+			// responses always travel as gob (the binary codec refuses
+			// them), which is fine — OpFetchModel requests arrive as gob.
 			wmu.Lock()
-			err := writeMsg(conn, resp)
+			var encErr error
+			if binaryReq && resp.Model == nil {
+				wbuf, encErr = BinaryCodec.AppendResponse(wbuf[:0], resp)
+				if encErr == nil {
+					encErr = writeFrame(conn, wbuf, true)
+				}
+			} else {
+				wbuf, encErr = GobCodec.AppendResponse(wbuf[:0], resp)
+				if encErr == nil {
+					encErr = writeFrame(conn, wbuf, false)
+				}
+			}
 			wmu.Unlock()
-			if err != nil {
+			if encErr != nil {
 				// The peer is gone; the read loop will notice shortly.
-				_ = err
+				_ = encErr
 			}
 		}()
 	}
@@ -321,8 +424,9 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 	// passed, the response cannot be useful no matter how fast detection
 	// runs — skip the detector entirely and tell the client why. FetchModel
 	// is exempt (model shipping is a provisioning step, not a live-path
-	// detection whose answer goes stale).
-	if req.DeadlineUnixMicro > 0 && req.Op != OpFetchModel &&
+	// detection whose answer goes stale), as is the hello/ping (negotiation
+	// is not detection work).
+	if req.DeadlineUnixMicro > 0 && req.Op != OpFetchModel && req.Op != OpHello &&
 		time.Now().UnixMicro() > req.DeadlineUnixMicro {
 		return &DetectResponse{
 			ID:   req.ID,
@@ -368,6 +472,15 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 			return &DetectResponse{ID: req.ID, Err: "no model snapshot available on this node"}
 		}
 		return &DetectResponse{ID: req.ID, Model: s.model}
+	case OpHello:
+		v := req.CodecVersion
+		if v > s.maxCodec {
+			v = s.maxCodec
+		}
+		if v < CodecVersionGob {
+			v = CodecVersionGob
+		}
+		return &DetectResponse{ID: req.ID, CodecVersion: v}
 	default:
 		return &DetectResponse{ID: req.ID, Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}
@@ -376,7 +489,8 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 // Close stops accepting, drops every open connection (in-flight handlers
 // finish; their responses fail to send), and waits for all connection
 // goroutines to exit. Pending client calls are woken with an error rather
-// than left hanging on a keep-alive socket.
+// than left hanging on a keep-alive socket. For a graceful alternative that
+// lets in-flight responses reach their callers, see Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -391,6 +505,57 @@ func (s *Server) Close() error {
 	err := s.lis.Close()
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown drains the server gracefully: it stops accepting connections,
+// stops reading new requests off existing ones, lets every in-flight
+// request finish and its response reach the wire, then closes the
+// connections — so rolling a replica does not surface spurious failures
+// for work the server had already picked up. Requests a client pipelined
+// but the server had not yet read are dropped with the connection; the
+// client sees a connection failure and its routing layer fails over.
+//
+// If ctx expires before the drain completes, the remaining connections are
+// closed Close-style and ctx's error is returned. Shutdown and Close are
+// both idempotent and safe to combine (whichever runs first wins).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	// Unblock every connection's read loop without touching the write side:
+	// in-flight handlers keep writing responses, but no new request is read.
+	now := time.Now()
+	for _, conn := range conns {
+		_ = conn.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		// Force path: close the stragglers and return at once — handlers
+		// still running unwind in the background (their response writes
+		// fail), exactly as they would under Close.
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
 }
 
 // DetectResult is one remote detection as seen by the client, with network
@@ -408,6 +573,20 @@ type DetectResult struct {
 	E2EMs float64
 }
 
+// CodecMode selects a client's wire-codec policy.
+type CodecMode int
+
+const (
+	// CodecAuto negotiates the binary fast path with OpHello at dial time
+	// and falls back to gob when the peer declines (or predates
+	// negotiation).
+	CodecAuto CodecMode = iota
+	// CodecGobOnly skips negotiation and speaks gob for everything — the
+	// legacy protocol, kept selectable so benchmarks can quantify the
+	// binary codec and tests can play an old client.
+	CodecGobOnly
+)
+
 // DialOptions configures DialWith.
 type DialOptions struct {
 	// OneWay is the emulated per-direction link delay (0 disables emulation).
@@ -416,6 +595,8 @@ type DialOptions struct {
 	// exclusive lock across the injected delays. It exists so benchmarks and
 	// demos can quantify what pipelining buys; new code should leave it off.
 	Serial bool
+	// Codec selects the wire-codec policy (default CodecAuto).
+	Codec CodecMode
 }
 
 // Client is a keep-alive connection to a detection server. Requests carry
@@ -427,9 +608,11 @@ type Client struct {
 	conn   net.Conn
 	oneWay time.Duration
 	serial bool
+	binary atomic.Bool // negotiated: hot RPCs ride the binary codec
 
 	serialMu sync.Mutex // held across a whole call in Serial mode only
-	wmu      sync.Mutex // serialises request writes
+	wmu      sync.Mutex // serialises request writes; guards encBuf
+	encBuf   []byte     // request encode buffer, guarded by wmu
 
 	mu      sync.Mutex // guards pending, nextID, err
 	pending map[uint64]chan *DetectResponse
@@ -437,20 +620,36 @@ type Client struct {
 	err     error
 }
 
-// Dial connects to a detection server with pipelining enabled. oneWay is
-// the emulated per-direction link delay (0 disables emulation).
+// Dial connects to a detection server with pipelining enabled and the
+// codec negotiated. oneWay is the emulated per-direction link delay (0
+// disables emulation).
 func Dial(addr string, oneWay time.Duration) (*Client, error) {
 	return DialWith(addr, DialOptions{OneWay: oneWay})
 }
 
-// DialWith connects to a detection server with full options.
+// DialWith connects to a detection server with full options. Under
+// CodecAuto (the default) it performs the OpHello codec negotiation before
+// returning, so the first real request already rides the agreed codec. It
+// is DialContext with context.Background(): the dial and the handshake are
+// bounded only by their internal 5 s caps.
 func DialWith(addr string, opt DialOptions) (*Client, error) {
+	return DialContext(context.Background(), addr, opt)
+}
+
+// DialContext is DialWith bounded by ctx: both the TCP connect and the
+// codec handshake respect the caller's deadline (each additionally capped
+// at 5 s), so a redial on a request path cannot stall past the request's
+// own budget.
+func DialContext(ctx context.Context, addr string, opt DialOptions) (*Client, error) {
 	if opt.OneWay < 0 {
 		return nil, fmt.Errorf("transport: negative one-way delay %v", opt.OneWay)
 	}
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	dialCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(dialCtx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("transport: dial %s: %w (%w)", addr, err, connError())
 	}
 	if tcp, ok := conn.(*net.TCPConn); ok {
 		_ = tcp.SetKeepAlive(true)
@@ -462,16 +661,67 @@ func DialWith(addr string, opt DialOptions) (*Client, error) {
 		pending: make(map[uint64]chan *DetectResponse),
 	}
 	go c.readLoop()
+	if opt.Codec == CodecAuto {
+		if err := c.negotiate(ctx); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
+// negotiate runs the OpHello handshake: announce the newest codec this
+// build speaks, adopt whatever the server concedes. A peer that predates
+// OpHello answers with an "unknown op" application error — that is a
+// successful negotiation of gob, not a failure. A peer that cannot answer
+// the hello at all within the budget is connection-dead: the failure is
+// classified as ErrConn, and the handshake's own timeout is deliberately
+// flattened out of the error chain — it is an implementation budget, not
+// the caller's detection deadline, and must not read as ErrDeadline (which
+// would also stop routing layers from failing over).
+func (c *Client) negotiate(ctx context.Context) error {
+	hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	resp, err := c.do(hctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionBinary})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The *caller* abandoned the dial (cancel or their own
+			// deadline); preserve their error so the taxonomy reads
+			// "I gave up", not "the remote failed".
+			return fmt.Errorf("transport: codec negotiation abandoned: %w", ctxErr)
+		}
+		return fmt.Errorf("transport: codec negotiation failed: %v (%w)", err, connError())
+	}
+	if resp.Err == "" && resp.CodecVersion >= CodecVersionBinary {
+		c.binary.Store(true)
+	}
+	return nil
+}
+
+// Binary reports whether the connection negotiated the binary codec for
+// its hot RPCs.
+func (c *Client) Binary() bool { return c.binary.Load() }
+
 // readLoop routes responses to their waiting callers by request ID. On any
 // read error it fails every pending call and exits; the client is unusable
-// afterwards.
+// afterwards (Broken reports true) — pools and replica sets evict and
+// redial.
 func (c *Client) readLoop() {
+	var rbuf []byte
 	for {
+		payload, binaryResp, err := readFrame(c.conn, rbuf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		rbuf = payload[:cap(payload)]
 		resp := new(DetectResponse)
-		if err := readMsg(c.conn, resp); err != nil {
+		if binaryResp {
+			err = BinaryCodec.DecodeResponse(payload, resp)
+		} else {
+			err = GobCodec.DecodeResponse(payload, resp)
+		}
+		if err != nil {
 			c.fail(err)
 			return
 		}
@@ -500,6 +750,22 @@ func (c *Client) fail(err error) {
 	}
 }
 
+// Broken reports whether the connection has failed (read loop dead or
+// Close called). A broken client fails every call; owners evict it and
+// dial a replacement.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending == nil
+}
+
+// connError returns the sentinel pair every connection-level failure
+// wraps: ErrConn for "the connection died, fail over", inside ErrRemote so
+// existing taxonomy mapping keeps working.
+func connError() error {
+	return fmt.Errorf("%w (%w)", ErrConn, ErrRemote)
+}
+
 // do sends one request and waits for its response, ctx cancellation, or
 // connection failure, whichever comes first. The caller's deadline rides
 // the wire in DeadlineUnixMicro so the server can shed expired work. On
@@ -519,23 +785,45 @@ func (c *Client) do(ctx context.Context, req *DetectRequest) (*DetectResponse, e
 	if c.pending == nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: connection down: %w (%w)", err, ErrRemote)
+		return nil, fmt.Errorf("transport: connection down: %w (%w)", err, connError())
 	}
 	c.nextID++
 	req.ID = c.nextID
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
+	// Hot detection RPCs ride the negotiated binary codec; everything else
+	// (hello, model shipping) stays gob, which every peer decodes.
+	useBinary := c.binary.Load() && (req.Op == OpDetect || req.Op == OpDetectBatch)
 	c.wmu.Lock()
-	err := writeMsg(c.conn, req)
+	var encErr, writeErr error
+	if useBinary {
+		c.encBuf, encErr = BinaryCodec.AppendRequest(c.encBuf[:0], req)
+	} else {
+		c.encBuf, encErr = GobCodec.AppendRequest(c.encBuf[:0], req)
+	}
+	if encErr == nil && len(c.encBuf) > maxMessageBytes {
+		encErr = fmt.Errorf("transport: message of %d bytes exceeds limit", len(c.encBuf))
+	}
+	if encErr == nil {
+		writeErr = writeFrame(c.conn, c.encBuf, useBinary)
+	}
 	c.wmu.Unlock()
-	if err != nil {
+	if encErr != nil || writeErr != nil {
 		c.mu.Lock()
 		if c.pending != nil {
 			delete(c.pending, req.ID)
 		}
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: sending request: %w (%w)", err, ErrRemote)
+		if encErr != nil {
+			// Local refusal (encode failure, oversized message): nothing hit
+			// the wire and the connection stays usable — this is the
+			// request's failure, not the link's, so it must not read as
+			// ErrConn (which would evict healthy connections and expel
+			// healthy replicas).
+			return nil, fmt.Errorf("transport: sending request: %w (%w)", encErr, ErrRemote)
+		}
+		return nil, fmt.Errorf("transport: sending request: %w (%w)", writeErr, connError())
 	}
 	select {
 	case resp, ok := <-ch:
@@ -543,7 +831,7 @@ func (c *Client) do(ctx context.Context, req *DetectRequest) (*DetectResponse, e
 			c.mu.Lock()
 			err := c.err
 			c.mu.Unlock()
-			return nil, fmt.Errorf("transport: connection lost mid-request: %w (%w)", err, ErrRemote)
+			return nil, fmt.Errorf("transport: connection lost mid-request: %w (%w)", err, connError())
 		}
 		return resp, nil
 	case <-ctx.Done():
@@ -684,7 +972,8 @@ func (c *Client) FetchModel() (*ModelSnapshot, error) {
 // the injected link-delay emulation (as before) but still honours ctx while
 // waiting for the (multi-megabyte) snapshot to arrive; the wire deadline is
 // not used for shedding here because provisioning work is still useful to
-// a retrying caller.
+// a retrying caller. Model frames always travel as gob regardless of the
+// negotiated codec.
 func (c *Client) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
 	resp, err := c.do(ctx, &DetectRequest{Op: OpFetchModel})
 	if err != nil {
@@ -699,86 +988,19 @@ func (c *Client) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) 
 	return resp.Model, nil
 }
 
-// Close closes the connection; pending calls fail.
+// Ping verifies the peer is alive and answering: it sends an OpHello and
+// accepts any well-formed response — including the "unknown op" application
+// error a pre-negotiation peer returns — as proof the peer's read and write
+// loops both work. Health checkers use it instead of a detection RPC so a
+// probe never costs the tier real compute.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.do(ctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionBinary})
+	return err
+}
+
+// Close closes the connection; pending calls fail and Broken reports true.
 func (c *Client) Close() error {
-	return c.conn.Close()
-}
-
-// Pool is a fixed-size pool of pipelined clients to one server. Requests
-// round-robin across connections, spreading gob encode/decode and TCP
-// head-of-line blocking over several sockets while each socket still
-// pipelines its own in-flight requests.
-type Pool struct {
-	clients []*Client
-	next    atomic.Uint64
-}
-
-// DialPool opens size connections to addr, each with the same injected
-// one-way delay.
-func DialPool(addr string, oneWay time.Duration, size int) (*Pool, error) {
-	if size < 1 {
-		return nil, fmt.Errorf("transport: pool size %d < 1", size)
-	}
-	p := &Pool{clients: make([]*Client, size)}
-	for i := range p.clients {
-		c, err := Dial(addr, oneWay)
-		if err != nil {
-			for _, open := range p.clients[:i] {
-				open.Close()
-			}
-			return nil, err
-		}
-		p.clients[i] = c
-	}
-	return p, nil
-}
-
-// Size returns the number of pooled connections.
-func (p *Pool) Size() int { return len(p.clients) }
-
-func (p *Pool) pick() *Client {
-	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
-}
-
-// Detect runs one detection on the next pooled connection.
-func (p *Pool) Detect(frames [][]float64) (DetectResult, error) {
-	return p.pick().Detect(frames)
-}
-
-// DetectContext runs one cancellable detection on the next pooled
-// connection (see Client.DetectContext).
-func (p *Pool) DetectContext(ctx context.Context, frames [][]float64) (DetectResult, error) {
-	return p.pick().DetectContext(ctx, frames)
-}
-
-// DetectBatch ships one batch on the next pooled connection.
-func (p *Pool) DetectBatch(windows [][][]float64) (BatchResult, error) {
-	return p.pick().DetectBatch(windows)
-}
-
-// DetectBatchContext ships one cancellable batch on the next pooled
-// connection (see Client.DetectBatchContext).
-func (p *Pool) DetectBatchContext(ctx context.Context, windows [][][]float64) (BatchResult, error) {
-	return p.pick().DetectBatchContext(ctx, windows)
-}
-
-// FetchModel fetches the server's model snapshot over one pooled connection.
-func (p *Pool) FetchModel() (*ModelSnapshot, error) {
-	return p.pick().FetchModel()
-}
-
-// FetchModelContext is FetchModel with cancellation.
-func (p *Pool) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
-	return p.pick().FetchModelContext(ctx)
-}
-
-// Close closes every pooled connection, returning the first error.
-func (p *Pool) Close() error {
-	var first error
-	for _, c := range p.clients {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	err := c.conn.Close()
+	c.fail(errors.New("transport: client closed"))
+	return err
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -280,7 +281,9 @@ func TestMidStreamDisconnect(t *testing.T) {
 		conn.Close()
 	}()
 
-	cli, err := Dial(lis.Addr().String(), 0)
+	// The fake peer answers nothing, so skip the OpHello negotiation —
+	// exactly what a client talking to a pre-negotiation build does.
+	cli, err := DialWith(lis.Addr().String(), DialOptions{Codec: CodecGobOnly})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,8 +504,18 @@ func TestMessageSizeLimit(t *testing.T) {
 	for i := range huge[0] {
 		huge[0][i] = 1.0/(float64(i)+3) + 1e-9
 	}
-	if _, err := cli.Detect(huge); err == nil {
+	err := func() error { _, err := cli.Detect(huge); return err }()
+	if err == nil {
 		t.Fatal("oversized message must be rejected")
+	}
+	// A local refusal is the request's failure, not the link's: it must not
+	// classify as ErrConn, or pools would evict the healthy connection and
+	// replica sets would expel the healthy replica over a bad input.
+	if errors.Is(err, ErrConn) {
+		t.Fatalf("local oversize rejection classified as a connection failure: %v", err)
+	}
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
 	}
 	// The rejection must not poison the connection: nothing was written.
 	if _, err := cli.Detect([][]float64{{0}}); err != nil {

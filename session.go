@@ -10,6 +10,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/cluster"
 	"repro/internal/hec"
+	"repro/internal/routing"
 	"repro/internal/transport"
 )
 
@@ -66,14 +67,46 @@ func ParseScheme(name string) (Scheme, error) {
 // DetectBatch call instead of one per window.
 type Remote = cluster.Remote
 
+// RoutingPolicy picks which replica of a multi-replica tier serves each
+// request (see WithRouting). The built-in policies are RouteRoundRobin,
+// RouteLeastInFlight, RoutePowerOfTwo and — for metrics validation only —
+// RouteAlwaysBusiest.
+type RoutingPolicy = routing.Policy
+
+// RouteRoundRobin cycles through a tier's replicas in order — the default.
+func RouteRoundRobin() RoutingPolicy { return routing.RoundRobin() }
+
+// RouteLeastInFlight dispatches to the replica with the fewest requests in
+// flight, steering around slow or degraded instances.
+func RouteLeastInFlight() RoutingPolicy { return routing.LeastInFlight() }
+
+// RoutePowerOfTwo samples two replicas and dispatches to the less loaded —
+// near-least-in-flight tail latency without scanning every replica.
+func RoutePowerOfTwo(seed int64) RoutingPolicy { return routing.PowerOfTwo(seed) }
+
+// RouteAlwaysBusiest dispatches to the MOST loaded replica — a
+// deliberately pathological policy for validating that delay metrics can
+// tell a good routing policy from a bad one.
+func RouteAlwaysBusiest() RoutingPolicy { return routing.AlwaysBusiest() }
+
 // sessionConfig accumulates SessionOptions. err records the first invalid
 // option so Open can refuse it instead of silently dropping it.
 type sessionConfig struct {
-	remotes  [hec.NumLayers]cluster.Remote
-	addrs    [hec.NumLayers]string
-	delays   [hec.NumLayers]time.Duration
-	poolSize int
-	err      error
+	remotes      [hec.NumLayers]cluster.Remote
+	addrs        [hec.NumLayers]string
+	replicaAddrs [hec.NumLayers][]string
+	delays       [hec.NumLayers]time.Duration
+	// delayFromAddr marks delays that came in through WithRemoteAddr, so
+	// a later WithRemoteAddrs overriding that option drops its delay too —
+	// per its contract, replica-set delays come only from WithLinkDelay.
+	delayFromAddr [hec.NumLayers]bool
+	poolSize      int
+	routing       RoutingPolicy
+	retries       int
+	noRetries     bool
+	maxInFlight   int
+	healthEvery   time.Duration
+	err           error
 }
 
 // SessionOption configures System.Open.
@@ -109,7 +142,9 @@ func WithRemote(layer Layer, r Remote) SessionOption {
 		}
 		if c.remoteLayer(layer) {
 			c.remotes[layer] = r
-			c.addrs[layer] = "" // later option overrides an earlier WithRemoteAddr
+			// Later option overrides an earlier WithRemoteAddr/WithRemoteAddrs.
+			c.addrs[layer] = ""
+			c.replicaAddrs[layer] = nil
 		}
 	}
 }
@@ -126,13 +161,124 @@ func WithRemoteAddr(layer Layer, addr string, oneWay time.Duration) SessionOptio
 		if c.remoteLayer(layer) {
 			c.addrs[layer] = addr
 			c.delays[layer] = oneWay
-			c.remotes[layer] = nil // later option overrides an earlier WithRemote
+			c.delayFromAddr[layer] = true
+			// Later option overrides an earlier WithRemote/WithRemoteAddrs.
+			c.remotes[layer] = nil
+			c.replicaAddrs[layer] = nil
 		}
 	}
 }
 
-// WithPoolSize sets how many pipelined connections WithRemoteAddr dials
-// per remote layer (default 2).
+// WithRemoteAddrs gives a layer a replica set: the session dials every
+// address, health-checks the membership, routes each request per the
+// WithRouting policy (round-robin by default), and fails broken attempts
+// over to healthy replicas within a bounded retry budget — so losing a
+// replica mid-stream costs retries, not errors. The session owns the
+// replica set and closes it on Close. The injected link delay for the
+// layer is taken from WithLinkDelay (default 0). Only LayerEdge and
+// LayerCloud accept replicas; when several options target the same layer,
+// the last one wins.
+func WithRemoteAddrs(layer Layer, addrs ...string) SessionOption {
+	return func(c *sessionConfig) {
+		if len(addrs) == 0 {
+			if c.err == nil {
+				c.err = badInput("open session", "no replica addresses for layer %v", layer)
+			}
+			return
+		}
+		if c.remoteLayer(layer) {
+			c.replicaAddrs[layer] = append([]string(nil), addrs...)
+			c.remotes[layer] = nil
+			c.addrs[layer] = ""
+			if c.delayFromAddr[layer] {
+				// The overridden WithRemoteAddr's delay goes with it.
+				c.delays[layer] = 0
+				c.delayFromAddr[layer] = false
+			}
+		}
+	}
+}
+
+// WithRouting sets the routing policy replica-set layers dispatch with
+// (default RouteRoundRobin). It applies to every layer configured through
+// WithRemoteAddrs.
+func WithRouting(policy RoutingPolicy) SessionOption {
+	return func(c *sessionConfig) {
+		if policy == nil {
+			if c.err == nil {
+				c.err = badInput("open session", "nil routing policy")
+			}
+			return
+		}
+		c.routing = policy
+	}
+}
+
+// WithLinkDelay sets the emulated one-way link delay for a layer's
+// replica-set connections (see WithRemoteAddrs); WithRemoteAddr carries
+// its own delay parameter and is unaffected unless it runs first.
+func WithLinkDelay(layer Layer, oneWay time.Duration) SessionOption {
+	return func(c *sessionConfig) {
+		if oneWay < 0 {
+			if c.err == nil {
+				c.err = badInput("open session", "negative link delay %v for layer %v", oneWay, layer)
+			}
+			return
+		}
+		if c.remoteLayer(layer) {
+			c.delays[layer] = oneWay
+			c.delayFromAddr[layer] = false
+		}
+	}
+}
+
+// WithRetryBudget bounds how many additional replicas a failed request may
+// try before the failure surfaces as ErrRemote (default 2). n = 0 disables
+// failover entirely.
+func WithRetryBudget(n int) SessionOption {
+	return func(c *sessionConfig) {
+		if n < 0 {
+			if c.err == nil {
+				c.err = badInput("open session", "negative retry budget %d", n)
+			}
+			return
+		}
+		c.retries = n
+		c.noRetries = n == 0
+	}
+}
+
+// WithMaxInFlight caps the requests a replica-set layer carries
+// concurrently; admission beyond the cap fails fast as ErrRemote (load is
+// shed, not queued). 0 (the default) means unbounded.
+func WithMaxInFlight(n int) SessionOption {
+	return func(c *sessionConfig) {
+		if n < 0 {
+			if c.err == nil {
+				c.err = badInput("open session", "negative in-flight cap %d", n)
+			}
+			return
+		}
+		c.maxInFlight = n
+	}
+}
+
+// WithHealthInterval enables periodic background health probes on
+// replica-set layers (0, the default, leaves health to request outcomes).
+func WithHealthInterval(d time.Duration) SessionOption {
+	return func(c *sessionConfig) {
+		if d < 0 {
+			if c.err == nil {
+				c.err = badInput("open session", "negative health interval %v", d)
+			}
+			return
+		}
+		c.healthEvery = d
+	}
+}
+
+// WithPoolSize sets how many pipelined connections WithRemoteAddr and
+// WithRemoteAddrs dial per remote address (default 2).
 func WithPoolSize(n int) SessionOption {
 	return func(c *sessionConfig) { c.poolSize = n }
 }
@@ -179,7 +325,10 @@ type Session struct {
 // the deployed detectors, with network time taken from the calibrated
 // topology model — so per-window delays are consistent with the batch
 // reports. WithRemote/WithRemoteAddr swap individual tiers for live
-// detection services reached over TCP.
+// detection services reached over TCP, and WithRemoteAddrs gives a tier a
+// whole replica set — health-checked membership, WithRouting-pluggable
+// dispatch, failover within WithRetryBudget, and WithMaxInFlight admission
+// shedding.
 func (s *System) Open(scheme Scheme, opts ...SessionOption) (*Session, error) {
 	if scheme < SchemeIoT || scheme > SchemePathological {
 		return nil, badInput("open session", "unknown scheme %d", int(scheme))
@@ -214,6 +363,23 @@ func (s *System) Open(scheme Scheme, opts ...SessionOption) (*Session, error) {
 		switch {
 		case cfg.remotes[l] != nil:
 			sess.dev.Remotes[l] = cfg.remotes[l]
+		case len(cfg.replicaAddrs[l]) > 0:
+			set, err := routing.New(routing.Config{
+				Addrs:          cfg.replicaAddrs[l],
+				Dial:           transport.DialOptions{OneWay: cfg.delays[l]},
+				PoolSize:       cfg.poolSize,
+				Policy:         cfg.routing,
+				Retries:        cfg.retries,
+				NoRetries:      cfg.noRetries,
+				MaxInFlight:    cfg.maxInFlight,
+				HealthInterval: cfg.healthEvery,
+			})
+			if err != nil {
+				sess.Close()
+				return nil, wrapErr("open session", err)
+			}
+			sess.dev.Remotes[l] = set
+			sess.owned = append(sess.owned, set)
 		case cfg.addrs[l] != "":
 			pool, err := transport.DialPool(cfg.addrs[l], cfg.delays[l], cfg.poolSize)
 			if err != nil {
@@ -376,3 +542,8 @@ func (r localRemote) DetectBatchContext(ctx context.Context, windows [][][]float
 // The public scheme constants are pinned to the cluster runtime's ordinals
 // (Session converts by integer cast); a unit test asserts the mapping.
 var _ = [1]struct{}{}[int(SchemePathological)-int(cluster.SchemePathological)]
+
+// A replica set must keep satisfying the cluster runtime's batch-capable
+// remote shape, or multi-replica tiers would silently lose the one-RPC-
+// per-batch path.
+var _ cluster.BatchRemote = (*routing.ReplicaSet)(nil)

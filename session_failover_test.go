@@ -1,0 +1,183 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/hec"
+	"repro/internal/transport"
+)
+
+// startTier serves the system's detector for the given layer on loopback.
+func startTier(t *testing.T, sys *System, layer Layer) *transport.Server {
+	t.Helper()
+	srv, err := transport.Serve("127.0.0.1:0", sys.Deployment.Detectors[layer], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestSessionReplicaFailover is the acceptance test for the replica-aware
+// serving plane: a Session streaming DetectBatch against a two-replica
+// cloud tier loses one replica mid-stream and must not surface a single
+// error — broken attempts retry transparently onto the healthy replica
+// within the retry budget. Once the second replica dies too, the budget
+// exhausts and the failure must classify as repro.ErrRemote. The whole
+// scenario runs inside a goroutine-leak bracket (the suite runs under
+// -race in CI).
+func TestSessionReplicaFailover(t *testing.T) {
+	sys := fastUniSystem(t)
+	baseline := runtime.NumGoroutine()
+
+	srvA := startTier(t, sys, LayerCloud)
+	srvB := startTier(t, sys, LayerCloud)
+	sess, err := sys.Open(SchemeCloud,
+		WithRemoteAddrs(LayerCloud, srvA.Addr(), srvB.Addr()),
+		WithRouting(RouteLeastInFlight()),
+		WithRetryBudget(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	windows := [][][]float64{sys.TestSamples[0].Frames, sys.TestSamples[1].Frames}
+	want, err := sess.DetectBatch(ctx, windows)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill replica A mid-stream: batches keep flowing, every one through
+	// the survivor, with verdicts identical to before the kill.
+	const afterKill = 12
+	for i := 0; i < afterKill; i++ {
+		if i == 2 {
+			srvA.Close()
+		}
+		got, err := sess.DetectBatch(ctx, windows)
+		if err != nil {
+			t.Fatalf("batch %d did not fail over: %v", i, err)
+		}
+		for j := range got {
+			if got[j].Anomaly != want[j].Anomaly || got[j].Confident != want[j].Confident {
+				t.Fatalf("batch %d window %d verdict changed across failover: %+v vs %+v",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+
+	// Kill the survivor: the retry budget exhausts and the failure must
+	// land in the public taxonomy as a remote failure — promptly, not
+	// after a hang.
+	srvB.Close()
+	start := time.Now()
+	_, err = sess.DetectBatch(ctx, windows)
+	if err == nil {
+		t.Fatal("batch with every replica dead must fail")
+	}
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want repro.ErrRemote", err)
+	}
+	if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline) {
+		t.Fatalf("replica loss misclassified as cancellation/deadline: %v", err)
+	}
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("err = %v, want a *repro.Error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget exhaustion took %v — failover is hanging, not failing fast", elapsed)
+	}
+
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestSessionReplicaOptionsValidation pins the new options' ErrBadInput
+// behaviour and the replica/routing plumbing of Open.
+func TestSessionReplicaOptionsValidation(t *testing.T) {
+	sys := fastUniSystem(t)
+	cases := []struct {
+		name string
+		opts []SessionOption
+	}{
+		{"no addresses", []SessionOption{WithRemoteAddrs(LayerCloud)}},
+		{"IoT replicas", []SessionOption{WithRemoteAddrs(LayerIoT, "127.0.0.1:1")}},
+		{"nil policy", []SessionOption{WithRouting(nil)}},
+		{"negative retries", []SessionOption{WithRetryBudget(-1)}},
+		{"negative cap", []SessionOption{WithMaxInFlight(-1)}},
+		{"negative health interval", []SessionOption{WithHealthInterval(-time.Second)}},
+		{"negative link delay", []SessionOption{WithLinkDelay(LayerEdge, -time.Millisecond)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := sys.Open(SchemeCloud, tc.opts...); !errors.Is(err, ErrBadInput) {
+				t.Fatalf("err = %v, want ErrBadInput", err)
+			}
+		})
+	}
+	// An unreachable replica fleet surfaces as ErrRemote, not a hang.
+	if _, err := sys.Open(SchemeCloud, WithRemoteAddrs(LayerCloud, "127.0.0.1:1")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote for an unreachable fleet", err)
+	}
+}
+
+// TestSessionReplicaMatchesSingleRemote pins that multi-replica routing
+// changes where requests run, not what they answer: verdicts through a
+// replica set equal verdicts through a plain single-address session.
+func TestSessionReplicaMatchesSingleRemote(t *testing.T) {
+	sys := fastUniSystem(t)
+	srvA := startTier(t, sys, LayerEdge)
+	srvB := startTier(t, sys, LayerEdge)
+
+	single, err := sys.Open(SchemeEdge, WithRemoteAddr(LayerEdge, srvA.Addr(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	replicated, err := sys.Open(SchemeEdge,
+		WithRemoteAddrs(LayerEdge, srvA.Addr(), srvB.Addr()),
+		WithRouting(RoutePowerOfTwo(1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replicated.Close()
+
+	ctx := context.Background()
+	n := len(sys.TestSamples)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		a, err := single.Detect(ctx, sys.TestSamples[i].Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := replicated.Detect(ctx, sys.TestSamples[i].Frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Anomaly != b.Anomaly || a.Confident != b.Confident || a.Layer != b.Layer {
+			t.Fatalf("sample %d: single %+v vs replicated %+v", i, a, b)
+		}
+	}
+}
+
+// TestSchemeConstantsCoverReplicaLayers is a compile-time-ish guard that
+// the replica options address real offload layers.
+func TestSchemeConstantsCoverReplicaLayers(t *testing.T) {
+	if LayerEdge == LayerIoT || LayerCloud == LayerIoT {
+		t.Fatal("layer constants collapsed")
+	}
+	if hec.NumLayers != 3 {
+		t.Fatalf("NumLayers = %d, want 3", hec.NumLayers)
+	}
+}
