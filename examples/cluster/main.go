@@ -43,6 +43,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/routing"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 		edgeAddr = flag.String("edge", "", "external edge hecnode address (default: in-process replicas)")
 		cloudAdr = flag.String("cloud", "", "external cloud hecnode address (default: in-process replicas)")
 		batch    = flag.Int("batch", 0, "windows shipped per request (<2 = per-window dispatch)")
+		scenario = flag.String("scenario", "", "scripted fault scenario over a mixed cohort fleet: spike-kill | straggler | flap (needs in-process edge replicas)")
 	)
 	flag.Parse()
 	// ^C cancels the context, which drains the device fleet promptly: each
@@ -64,7 +66,7 @@ func main() {
 	// deadline-propagating transport.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *devices, *rounds, *scale, *poolSize, *replicas, *policy, *seed, *edgeAddr, *cloudAdr, *batch)
+	err := run(ctx, *devices, *rounds, *scale, *poolSize, *replicas, *policy, *seed, *edgeAddr, *cloudAdr, *batch, *scenario)
 	if errors.Is(err, context.Canceled) {
 		fmt.Println("\ninterrupted — device fleet drained")
 		return
@@ -74,7 +76,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, policyName string, seed int64, edgeAddr, cloudAddr string, batch int) error {
+func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, policyName string, seed int64, edgeAddr, cloudAddr string, batch int, scenario string) error {
 	if scale < 1 {
 		scale = 1
 	}
@@ -235,6 +237,10 @@ func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, po
 		testSamples[i] = hec.Sample{Frames: uniFrames(s.Values), Label: s.Label}
 	}
 
+	if scenario != "" {
+		return runScenario(ctx, dev, edgeSet, edgeSrvs, testSamples, scenario, devices, rounds, seed)
+	}
+
 	fmt.Printf("\nlive run: %d devices × %d rounds × %d windows, link delays scaled 1/%d\n",
 		devices, rounds, len(testSamples), scale)
 	if batch > 1 {
@@ -264,6 +270,82 @@ func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, po
 	}
 
 	return compareTransports(edgeAddrs[len(edgeAddrs)-1], testSamples[0].Frames, scale)
+}
+
+// runScenario replaces the per-scheme sweep with the scenario engine: a
+// heterogeneous cohort fleet (edge, cloud and adaptive devices live at
+// once, the edge cohort paced by an arrival pattern) driven under a
+// scripted fault timeline against the in-process edge replicas. The
+// run's report shows the per-cohort live metrics plus the routing
+// layer's per-replica view of the faults: requests, failures, expels
+// and readmits on the victim, the survivors carrying the traffic.
+func runScenario(ctx context.Context, dev *cluster.Device, edgeSet *routing.ReplicaSet, edgeSrvs []*transport.Server, samples []hec.Sample, name string, devices, rounds int, seed int64) error {
+	if len(edgeSrvs) < 2 {
+		return fmt.Errorf("scenario %q needs ≥2 in-process edge replicas (got %d): raise -replicas and drop -edge", name, len(edgeSrvs))
+	}
+	victim := edgeSrvs[0]
+	atLeast1 := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	edgeDev := atLeast1(devices / 2)
+	cloudDev := atLeast1(devices / 4)
+	adaptDev := atLeast1(devices - edgeDev - cloudDev)
+	totalWindows := int64((edgeDev + cloudDev + adaptDev) * rounds * len(samples))
+
+	var edgePattern workload.Pattern
+	var sc *cluster.Scenario
+	switch name {
+	case "spike-kill":
+		// A flash crowd hits the edge cohort and one edge replica dies a
+		// quarter of the way in; the probe afterwards forces the health
+		// checker to record the expulsion before the run ends.
+		edgePattern = workload.Spike(100*time.Millisecond, 300*time.Millisecond, 1, 8)
+		sc = &cluster.Scenario{Name: "spike-kill", Events: []cluster.Event{
+			{AfterWindows: totalWindows / 4, Action: cluster.Kill(victim)},
+			{AfterWindows: totalWindows / 2, Action: cluster.Probe(edgeSet)},
+		}}
+	case "straggler":
+		// One edge replica turns slow (not dead) mid-run, then recovers:
+		// the routing policy's job is to steer around it in between.
+		sc = &cluster.Scenario{Name: "straggler", Events: []cluster.Event{
+			{AfterWindows: totalWindows / 5, Action: cluster.Straggle(victim, 40*time.Millisecond)},
+			{AfterWindows: 4 * totalWindows / 5, Action: cluster.Heal(victim)},
+		}}
+	case "flap":
+		// The victim's network partitions and heals twice; each probe
+		// flips its membership, so the report must show expels AND
+		// readmits with the replica healthy again at the end.
+		edgePattern = workload.Uniform(1)
+		sc = &cluster.Scenario{Name: "flap", Events: cluster.FlapEvents(victim, edgeSet, 25*time.Millisecond, 50*time.Millisecond, 2)}
+	default:
+		return fmt.Errorf("unknown scenario %q (spike-kill | straggler | flap)", name)
+	}
+
+	cohorts := []workload.Cohort{
+		{Name: "edge", Scheme: "edge", Devices: edgeDev, Rounds: rounds, Alpha: 5e-4, Pattern: edgePattern},
+		{Name: "cloud", Scheme: "cloud", Devices: cloudDev, Rounds: rounds, Alpha: 5e-4},
+		{Name: "adaptive", Scheme: "adaptive", Devices: adaptDev, Rounds: rounds, Alpha: 5e-4},
+	}
+	fmt.Printf("\nscenario %q: %d edge + %d cloud + %d adaptive devices × %d rounds × %d windows, victim %s\n",
+		name, edgeDev, cloudDev, adaptDev, rounds, len(samples), victim.Addr())
+	for _, ev := range sc.Events {
+		fmt.Printf("  @%v/≥%d windows: %s\n", ev.At, ev.AfterWindows, ev.Action.Describe())
+	}
+	fs, err := cluster.RunFleet(ctx, dev, samples, cluster.FleetConfig{
+		Cohorts:      cohorts,
+		Seed:         seed,
+		BaseInterval: 2 * time.Millisecond,
+		Scenario:     sc,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", name, err)
+	}
+	fmt.Println()
+	fmt.Print(fs.Report())
+	return nil
 }
 
 // failoverDemo kills one edge replica while a stream of edge-routed

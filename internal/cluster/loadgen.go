@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/hec"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/policy"
 )
 
@@ -34,7 +33,10 @@ type Config struct {
 
 // Stats aggregates a live run across all devices.
 type Stats struct {
-	Scheme  string
+	Scheme string
+	// Name labels the stats line: the cohort label in fleet runs, the
+	// scheme name otherwise. Empty falls back to Scheme for display.
+	Name    string
 	Devices int
 	// Windows is the total number of windows detected.
 	Windows int
@@ -49,6 +51,11 @@ type Stats struct {
 	LayerCounts [hec.NumLayers]int
 	// Elapsed is the wall-clock duration of the whole run.
 	Elapsed time.Duration
+	// Tiers reports what the routing layer did over this run, one entry per
+	// remote tier that exposes introspection (see StatusSource): the
+	// per-replica routing mix, failure/expel/readmit counts and admission
+	// sheds, all as deltas over the run.
+	Tiers []TierStatus
 }
 
 // Accuracy returns the live detection accuracy.
@@ -77,8 +84,12 @@ func (st *Stats) LayerMix() [hec.NumLayers]float64 {
 // String renders the one-line summary used by the examples.
 func (st *Stats) String() string {
 	mix := st.LayerMix()
+	name := st.Name
+	if name == "" {
+		name = st.Scheme
+	}
 	return fmt.Sprintf("%-12s acc=%.3f p50=%6.1fms p95=%6.1fms p99=%6.1fms mix=[%.2f %.2f %.2f] %6.1f win/s reward=%.3f",
-		st.Scheme, st.Accuracy(),
+		name, st.Accuracy(),
 		st.Delays.Percentile(50), st.Delays.Percentile(95), st.Delays.Percentile(99),
 		mix[0], mix[1], mix[2], st.Throughput(), st.Reward.Mean())
 }
@@ -93,6 +104,27 @@ type workerStats struct {
 	windows     int
 }
 
+// account folds one window's outcome into the accumulator.
+func (ws *workerStats) account(out Outcome, label bool, alpha float64) {
+	correct := out.Verdict.Anomaly == label
+	ws.confusion.Add(out.Verdict.Anomaly, label)
+	ws.delays.Add(out.DelayMs)
+	ws.reward.Add(policy.Reward(correct, alpha, out.DelayMs))
+	ws.layerCounts[out.Layer]++
+	ws.windows++
+}
+
+// merge folds a worker's accumulator into the aggregate.
+func (st *Stats) merge(ws *workerStats) {
+	st.Confusion.Merge(ws.confusion)
+	st.Delays.Merge(&ws.delays)
+	st.Reward.Merge(ws.reward)
+	st.Windows += ws.windows
+	for l, n := range ws.layerCounts {
+		st.LayerCounts[l] += n
+	}
+}
+
 // Run streams samples through dev from cfg.Devices concurrent simulated
 // devices and aggregates live metrics. Every device makes cfg.Rounds passes
 // over the full sample set, starting at a device-specific offset so the
@@ -100,14 +132,12 @@ type workerStats struct {
 // whole run. Cancelling ctx drains the device goroutines promptly (each
 // stops at its next window, and in-flight remote waits abort through the
 // transport) and Run returns ctx's error.
+//
+// Run is the single-scheme wrapper over the fleet engine (see RunFleet):
+// one cohort, the historical deterministic device offsets, no pacing, no
+// scenario. Like every fleet run, the result carries the routing layer's
+// per-replica activity over the run in Stats.Tiers.
 func Run(ctx context.Context, dev *Device, samples []hec.Sample, cfg Config) (*Stats, error) {
-	if dev == nil {
-		return nil, fmt.Errorf("cluster: load generation needs a device")
-	}
-	if len(samples) == 0 {
-		return nil, fmt.Errorf("cluster: load generation needs samples")
-	}
-	done := ctx.Done()
 	devices := cfg.Devices
 	if devices < 1 {
 		devices = 1
@@ -116,74 +146,21 @@ func Run(ctx context.Context, dev *Device, samples []hec.Sample, cfg Config) (*S
 	if rounds < 1 {
 		rounds = 1
 	}
-
-	start := time.Now()
-	// parallel.MapCtx with workers == n runs every device on its own
-	// goroutine; ctx stops the fleet between windows.
-	perWorker, err := parallel.MapCtx(ctx, devices, devices, func(w int) (*workerStats, error) {
-		ws := &workerStats{}
-		offset := w * len(samples) / devices
-		account := func(out Outcome, label bool) {
-			correct := out.Verdict.Anomaly == label
-			ws.confusion.Add(out.Verdict.Anomaly, label)
-			ws.delays.Add(out.DelayMs)
-			ws.reward.Add(policy.Reward(correct, cfg.Alpha, out.DelayMs))
-			ws.layerCounts[out.Layer]++
-			ws.windows++
-		}
-		for r := 0; r < rounds; r++ {
-			if cfg.BatchSize > 1 {
-				for k := 0; k < len(samples); k += cfg.BatchSize {
-					end := k + cfg.BatchSize
-					if end > len(samples) {
-						end = len(samples)
-					}
-					windows := make([][][]float64, end-k)
-					labels := make([]bool, end-k)
-					for j := range windows {
-						s := samples[(offset+k+j)%len(samples)]
-						windows[j] = s.Frames
-						labels[j] = s.Label
-					}
-					outs, err := dev.RunBatch(ctx, cfg.Scheme, windows)
-					if err != nil {
-						return nil, fmt.Errorf("cluster: device %d batch at %d: %w", w, k, err)
-					}
-					for j, out := range outs {
-						account(out, labels[j])
-					}
-				}
-				continue
-			}
-			for k := range samples {
-				select {
-				case <-done:
-					return nil, ctx.Err()
-				default:
-				}
-				s := samples[(offset+k)%len(samples)]
-				out, err := dev.Run(ctx, cfg.Scheme, s.Frames)
-				if err != nil {
-					return nil, fmt.Errorf("cluster: device %d window %d: %w", w, k, err)
-				}
-				account(out, s.Label)
-			}
-		}
-		return ws, nil
+	fs, err := runFleet(ctx, dev, samples, fleetRun{
+		plans: []cohortPlan{{
+			label:        cfg.Scheme.String(),
+			scheme:       cfg.Scheme,
+			devices:      devices,
+			rounds:       rounds,
+			batch:        cfg.BatchSize,
+			alpha:        cfg.Alpha,
+			legacyOffset: true,
+		}},
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	st := &Stats{Scheme: cfg.Scheme.String(), Devices: devices, Elapsed: time.Since(start)}
-	for _, ws := range perWorker {
-		st.Confusion.Merge(ws.confusion)
-		st.Delays.Merge(&ws.delays)
-		st.Reward.Merge(ws.reward)
-		st.Windows += ws.windows
-		for l, n := range ws.layerCounts {
-			st.LayerCounts[l] += n
-		}
-	}
+	st := fs.Cohorts[0]
+	st.Tiers = fs.Total.Tiers
 	return st, nil
 }

@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hec"
+	"repro/internal/routing"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// fleetSamples builds the canonical half-anomalous sample set the fleet
+// tests stream.
+func fleetSamples(n int) []hec.Sample {
+	samples := make([]hec.Sample, n)
+	for i := range samples {
+		samples[i] = hec.Sample{Frames: window, Label: i%2 == 0}
+	}
+	return samples
+}
+
+// startFleetReplica serves a stub detector on loopback for fleet tests.
+func startFleetReplica(t *testing.T) *transport.Server {
+	t.Helper()
+	srv, err := transport.Serve("127.0.0.1:0", stubDetector{verdict: confident(true)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// waitForClusterGoroutines waits for the goroutine count to return to the
+// baseline after a fleet run tears down.
+func waitForClusterGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+// TestRunFleetHeterogeneousCohorts runs all six schemes as one fleet —
+// the heterogeneity the single-scheme Run never exercised — and checks
+// each cohort's window count, routing mix and the fleet-wide total.
+func TestRunFleetHeterogeneousCohorts(t *testing.T) {
+	edge := &stubRemote{verdict: confident(true), execMs: 5, netMs: 7}
+	cloud := &stubRemote{verdict: confident(true), execMs: 2, netMs: 11}
+	dev := testDevice(confident(true), edge, cloud)
+	samples := fleetSamples(10)
+
+	cohorts := []workload.Cohort{
+		{Scheme: "iot", Devices: 2, Rounds: 1},
+		{Scheme: "edge", Devices: 2, Rounds: 2},
+		{Scheme: "cloud", Devices: 1, Rounds: 1, BatchSize: 4},
+		{Scheme: "successive", Devices: 1, Rounds: 1},
+		{Scheme: "adaptive", Devices: 2, Rounds: 1, Alpha: 5e-4},
+		{Scheme: "pathological", Devices: 1, Rounds: 1, Alpha: 5e-4},
+	}
+	fs, err := RunFleet(context.Background(), dev, samples, FleetConfig{Cohorts: cohorts, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Cohorts) != len(cohorts) {
+		t.Fatalf("got %d cohort stats, want %d", len(fs.Cohorts), len(cohorts))
+	}
+	wantTotal := 0
+	for i, c := range cohorts {
+		st := fs.Cohorts[i]
+		if st.Name != c.Label() {
+			t.Fatalf("cohort %d label = %q, want %q", i, st.Name, c.Label())
+		}
+		want := c.Devices * c.Rounds * len(samples)
+		if st.Windows != want {
+			t.Fatalf("cohort %q windows = %d, want %d", c.Label(), st.Windows, want)
+		}
+		wantTotal += want
+		if acc := st.Accuracy(); acc != 0.5 {
+			t.Fatalf("cohort %q accuracy = %g, want 0.5 (always-anomalous verdicts, half-true labels)", c.Label(), acc)
+		}
+	}
+	if fs.Total.Windows != wantTotal {
+		t.Fatalf("total windows = %d, want %d", fs.Total.Windows, wantTotal)
+	}
+	// Fixed schemes pin their layer; the stub policy (probs 0.1/0.7/0.2)
+	// sends Adaptive to the edge, Pathological to the (confident) local
+	// tier; Successive stops at the confident local verdict.
+	wantLayer := map[string]hec.Layer{
+		"iot": hec.LayerIoT, "edge": hec.LayerEdge, "cloud": hec.LayerCloud,
+		"successive": hec.LayerIoT, "adaptive": hec.LayerEdge, "pathological": hec.LayerIoT,
+	}
+	for _, st := range fs.Cohorts {
+		mix := st.LayerMix()
+		if l := wantLayer[st.Name]; mix[l] != 1 {
+			t.Fatalf("cohort %q mix = %v, want all %v", st.Name, mix, l)
+		}
+	}
+	if report := fs.Report(); !strings.Contains(report, "adaptive") {
+		t.Fatalf("fleet report missing cohort line:\n%s", report)
+	}
+}
+
+// TestRunFleetValidation pins the config errors: modes are exclusive,
+// scheme tokens and traces are validated up front.
+func TestRunFleetValidation(t *testing.T) {
+	dev := testDevice(confident(true), &stubRemote{verdict: confident(true)}, &stubRemote{verdict: confident(true)})
+	samples := fleetSamples(4)
+	trace := &workload.Trace{Events: []workload.TraceEvent{{AtMs: 0, Device: "d", Scheme: "edge"}}}
+	cases := []struct {
+		name string
+		cfg  FleetConfig
+	}{
+		{"neither mode", FleetConfig{}},
+		{"both modes", FleetConfig{Cohorts: []workload.Cohort{{Scheme: "edge"}}, Trace: trace}},
+		{"unknown cohort scheme", FleetConfig{Cohorts: []workload.Cohort{{Scheme: "warp"}}}},
+		{"duplicate labels", FleetConfig{Cohorts: []workload.Cohort{{Scheme: "edge"}, {Scheme: "edge"}}}},
+		{"invalid trace", FleetConfig{Trace: &workload.Trace{}}},
+		{"unknown trace scheme", FleetConfig{Trace: &workload.Trace{Events: []workload.TraceEvent{{AtMs: 0, Device: "d", Scheme: "warp"}}}}},
+		{"negative time scale", FleetConfig{Trace: trace, TraceTimeScale: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := RunFleet(context.Background(), dev, samples, tc.cfg); err == nil {
+			t.Errorf("%s: RunFleet succeeded, want error", tc.name)
+		}
+	}
+}
+
+// TestRunFleetTraceReplay replays a small recorded fleet and checks the
+// per-scheme accounting: every recorded event becomes exactly one window,
+// grouped per scheme token.
+func TestRunFleetTraceReplay(t *testing.T) {
+	edge := &stubRemote{verdict: confident(true), execMs: 5, netMs: 7}
+	cloud := &stubRemote{verdict: confident(true), execMs: 2, netMs: 11}
+	dev := testDevice(confident(true), edge, cloud)
+	samples := fleetSamples(10)
+
+	trace := &workload.Trace{Events: []workload.TraceEvent{
+		{AtMs: 0, Device: "dev-a", Scheme: "edge"},
+		{AtMs: 0, Device: "dev-b", Scheme: "cloud"},
+		{AtMs: 1, Device: "dev-a", Scheme: "edge"},
+		{AtMs: 2, Device: "dev-b", Scheme: "edge"},
+		{AtMs: 3, Device: "dev-a", Scheme: "cloud"},
+	}}
+	fs, err := RunFleet(context.Background(), dev, samples, FleetConfig{Trace: trace, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Total.Windows != len(trace.Events) {
+		t.Fatalf("total windows = %d, want %d (one per recorded event)", fs.Total.Windows, len(trace.Events))
+	}
+	if len(fs.Cohorts) != 2 {
+		t.Fatalf("got %d per-scheme stats, want 2", len(fs.Cohorts))
+	}
+	byName := map[string]*Stats{}
+	for _, st := range fs.Cohorts {
+		byName[st.Name] = st
+	}
+	if st := byName["cloud"]; st == nil || st.Windows != 2 {
+		t.Fatalf("cloud stats = %+v, want 2 windows", st)
+	}
+	if st := byName["edge"]; st == nil || st.Windows != 3 {
+		t.Fatalf("edge stats = %+v, want 3 windows", st)
+	}
+	if mix := byName["edge"].LayerMix(); mix[hec.LayerEdge] != 1 {
+		t.Fatalf("edge trace mix = %v, want all edge", mix)
+	}
+	if byName["cloud"].Devices != 2 {
+		t.Fatalf("cloud scheme devices = %d, want 2 (both recorded devices used it)", byName["cloud"].Devices)
+	}
+}
+
+// TestFleetDeterministicFromSeed is the reproducibility contract: the
+// same seed, fleet and trace produce identical routing mixes and
+// confusion counts, run after run; a different seed draws different
+// windows.
+func TestFleetDeterministicFromSeed(t *testing.T) {
+	edge := &stubRemote{verdict: confident(true), execMs: 5, netMs: 7}
+	cloud := &stubRemote{verdict: confident(true), execMs: 2, netMs: 11}
+	dev := testDevice(confident(true), edge, cloud)
+	samples := fleetSamples(9) // odd: labels are 5 true / 4 false, so draws shift confusion
+
+	var events []workload.TraceEvent
+	for i := 0; i < 40; i++ {
+		devName := "dev-a"
+		if i%3 == 0 {
+			devName = "dev-b"
+		}
+		scheme := []string{"edge", "cloud", "successive"}[i%3]
+		events = append(events, workload.TraceEvent{AtMs: float64(i), Device: devName, Scheme: scheme})
+	}
+	trace := &workload.Trace{Events: events}
+
+	run := func(seed int64) *FleetStats {
+		t.Helper()
+		fs, err := RunFleet(context.Background(), dev, samples, FleetConfig{Trace: trace, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+	a, b := run(7), run(7)
+	if a.Total.LayerCounts != b.Total.LayerCounts {
+		t.Fatalf("same seed, different routing mix: %v vs %v", a.Total.LayerCounts, b.Total.LayerCounts)
+	}
+	if a.Total.Confusion != b.Total.Confusion {
+		t.Fatalf("same seed, different confusion: %+v vs %+v", a.Total.Confusion, b.Total.Confusion)
+	}
+	for i := range a.Cohorts {
+		if a.Cohorts[i].Confusion != b.Cohorts[i].Confusion {
+			t.Fatalf("cohort %q confusion differs across same-seed runs", a.Cohorts[i].Name)
+		}
+	}
+	// Different seeds draw different windows; with odd label parity the
+	// confusion almost surely shifts. Don't fail the suite on the tiny
+	// collision chance — just require the counts stay internally sane.
+	c := run(8)
+	if c.Total.Windows != a.Total.Windows {
+		t.Fatalf("window count depends on seed: %d vs %d", c.Total.Windows, a.Total.Windows)
+	}
+}
+
+// TestScenarioKillDuringFleet is the engine's acceptance path: a scripted
+// replica kill fires mid-run (gated on completed windows, so it lands
+// mid-stream even under -race slowdowns), the fleet finishes with zero
+// dropped windows, and the run's Stats.Tiers show the failover: victim
+// expelled with failures counted, survivor carrying requests.
+func TestScenarioKillDuringFleet(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srvA := startFleetReplica(t)
+	srvB := startFleetReplica(t)
+	set, err := routing.New(routing.Config{
+		Addrs:   []string{srvA.Addr(), srvB.Addr()},
+		Policy:  routing.RoundRobin(),
+		Retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := &Device{Local: stubDetector{verdict: confident(true)}}
+	dev.Remotes[hec.LayerEdge] = set
+
+	samples := fleetSamples(10)
+	const devices, rounds = 4, 5
+	fs, err := RunFleet(context.Background(), dev, samples, FleetConfig{
+		Cohorts: []workload.Cohort{{Scheme: "edge", Devices: devices, Rounds: rounds}},
+		Seed:    3,
+		Scenario: &Scenario{
+			Name:   "kill-mid-run",
+			Events: []Event{{AfterWindows: 40, Action: Kill(srvA)}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := devices * rounds * len(samples); fs.Total.Windows != want {
+		t.Fatalf("windows = %d, want %d — the kill dropped windows", fs.Total.Windows, want)
+	}
+	if len(fs.Total.Tiers) != 1 {
+		t.Fatalf("tiers = %+v, want the edge tier", fs.Total.Tiers)
+	}
+	tier := fs.Total.Tiers[0]
+	if tier.Layer != hec.LayerEdge {
+		t.Fatalf("tier layer = %v, want edge", tier.Layer)
+	}
+	victim, survivor := tier.Replicas[0], tier.Replicas[1]
+	if victim.Healthy {
+		t.Fatalf("killed replica still healthy: %+v", victim)
+	}
+	if victim.Expels < 1 || victim.Failures < 1 {
+		t.Fatalf("victim shows no failover signature: %+v", victim)
+	}
+	if survivor.Requests == 0 || !survivor.Healthy {
+		t.Fatalf("survivor not carrying traffic: %+v", survivor)
+	}
+	if victim.Requests == 0 {
+		t.Fatalf("victim took no traffic before the kill: %+v", victim)
+	}
+
+	set.Close()
+	srvB.Close() // Close is idempotent; drain the survivor before the leak check.
+	waitForClusterGoroutines(t, baseline)
+}
+
+// TestScenarioStragglerPathologicalPolicy is the H14-style validation for
+// the scenario engine: with one replica straggling, the deliberately bad
+// RouteAlwaysBusiest policy (which piles onto the straggler) must be
+// measurably worse on p99 delay than least-in-flight (which routes around
+// it) — and the tier report must show the concentration.
+func TestScenarioStragglerPathologicalPolicy(t *testing.T) {
+	const lag = 40 * time.Millisecond
+	samples := fleetSamples(10)
+
+	runWith := func(pol routing.Policy, stragglerFirst bool, devices, rounds int) *FleetStats {
+		t.Helper()
+		srvS := startFleetReplica(t) // the straggler
+		srvH1 := startFleetReplica(t)
+		srvH2 := startFleetReplica(t)
+		addrs := []string{srvH1.Addr(), srvH2.Addr(), srvS.Addr()}
+		if stragglerFirst {
+			addrs = []string{srvS.Addr(), srvH1.Addr(), srvH2.Addr()}
+		}
+		set, err := routing.New(routing.Config{Addrs: addrs, Policy: pol, Retries: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer set.Close()
+		dev := &Device{Local: stubDetector{verdict: confident(true)}}
+		dev.Remotes[hec.LayerEdge] = set
+
+		fs, err := RunFleet(context.Background(), dev, samples, FleetConfig{
+			Cohorts: []workload.Cohort{{Scheme: "edge", Devices: devices, Rounds: rounds}},
+			Scenario: &Scenario{
+				Name:   "straggler",
+				Events: []Event{{Action: Straggle(srvS, lag)}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	// Always-busiest with the straggler first in the address list: the
+	// cold-start tie sends traffic there, its in-flight count rises, and
+	// the policy self-reinforces onto the slowest replica.
+	bad := runWith(routing.AlwaysBusiest(), true, 4, 2)
+	// Least-in-flight with the straggler last: ties favour the healthy
+	// replicas and the straggler's long in-flight windows repel traffic.
+	good := runWith(routing.LeastInFlight(), false, 4, 25)
+
+	badP99 := bad.Total.Delays.Percentile(99)
+	goodP99 := good.Total.Delays.Percentile(99)
+	lagMs := float64(lag / time.Millisecond)
+	if badP99 < lagMs*0.8 {
+		t.Fatalf("always-busiest p99 = %.2fms, want ≥ ~%gms (traffic must pile on the straggler)", badP99, lagMs)
+	}
+	if badP99 <= 2*goodP99 {
+		t.Fatalf("always-busiest p99 = %.2fms not measurably worse than least-in-flight p99 = %.2fms", badP99, goodP99)
+	}
+	// The tier deltas must show the concentration: the straggler carried
+	// the overwhelming majority under always-busiest.
+	var total, straggler uint64
+	for i, r := range bad.Total.Tiers[0].Replicas {
+		total += r.Requests
+		if i == 0 {
+			straggler = r.Requests
+		}
+	}
+	if total == 0 || float64(straggler)/float64(total) < 0.9 {
+		t.Fatalf("always-busiest sent only %d/%d requests to the straggler, want ≥ 90%%", straggler, total)
+	}
+}
+
+// TestScenarioFlappingReplica scripts a replica flapping off and back
+// onto the network during a paced fleet run: the run must finish with
+// zero errors and zero dropped windows, and the new Stats.Tiers fields
+// must show the churn — nonzero expels AND readmits on the victim.
+func TestScenarioFlappingReplica(t *testing.T) {
+	srvA := startFleetReplica(t)
+	srvB := startFleetReplica(t)
+	set, err := routing.New(routing.Config{
+		Addrs:   []string{srvA.Addr(), srvB.Addr()},
+		Policy:  routing.RoundRobin(),
+		Retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	dev := &Device{Local: stubDetector{verdict: confident(true)}}
+	dev.Remotes[hec.LayerEdge] = set
+
+	samples := fleetSamples(10)
+	const devices, rounds, cycles = 2, 10, 2
+	fs, err := RunFleet(context.Background(), dev, samples, FleetConfig{
+		Cohorts: []workload.Cohort{{
+			Scheme: "edge", Devices: devices, Rounds: rounds,
+			Pattern: workload.Uniform(1),
+		}},
+		BaseInterval: time.Millisecond,
+		Scenario: &Scenario{
+			Name:   "flap",
+			Events: FlapEvents(srvB, set, 5*time.Millisecond, 15*time.Millisecond, cycles),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := devices * rounds * len(samples); fs.Total.Windows != want {
+		t.Fatalf("windows = %d, want %d — flapping dropped windows", fs.Total.Windows, want)
+	}
+	victim := fs.Total.Tiers[0].Replicas[1]
+	if victim.Expels < cycles || victim.Readmits < cycles {
+		t.Fatalf("victim churn = %d expels / %d readmits, want ≥ %d of each: %+v",
+			victim.Expels, victim.Readmits, cycles, victim)
+	}
+	if !victim.Healthy {
+		t.Fatalf("victim not readmitted after final heal: %+v", victim)
+	}
+	stable := fs.Total.Tiers[0].Replicas[0]
+	if stable.Expels != 0 {
+		t.Fatalf("stable replica expelled: %+v", stable)
+	}
+}
+
+// TestScenarioUnfiredEventIsAnError pins the scripting contract: an event
+// the run never reaches is a bug in the scenario, not a silent no-op.
+func TestScenarioUnfiredEventIsAnError(t *testing.T) {
+	edge := &stubRemote{verdict: confident(true)}
+	dev := testDevice(confident(true), edge, &stubRemote{verdict: confident(true)})
+	_, err := RunFleet(context.Background(), dev, fleetSamples(2), FleetConfig{
+		Cohorts: []workload.Cohort{{Scheme: "iot"}},
+		Scenario: &Scenario{
+			Name:   "too-late",
+			Events: []Event{{At: time.Hour, Action: ActionFunc("noop", func() error { return nil })}},
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "never fired") {
+		t.Fatalf("err = %v, want a never-fired scenario error", err)
+	}
+}
+
+// TestLegacyRunReportsTiers pins the fold-in: the single-scheme Run now
+// carries the routing layer's per-replica activity too.
+func TestLegacyRunReportsTiers(t *testing.T) {
+	srv := startFleetReplica(t)
+	set, err := routing.New(routing.Config{Addrs: []string{srv.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	dev := &Device{Local: stubDetector{verdict: confident(true)}}
+	dev.Remotes[hec.LayerCloud] = set
+
+	st, err := Run(context.Background(), dev, fleetSamples(6), Config{Scheme: SchemeCloud, Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Tiers) != 1 || st.Tiers[0].Layer != hec.LayerCloud {
+		t.Fatalf("run tiers = %+v, want the cloud tier", st.Tiers)
+	}
+	if got := st.Tiers[0].Replicas[0].Requests; got != uint64(st.Windows) {
+		t.Fatalf("tier requests = %d, want %d (deltas over the run)", got, st.Windows)
+	}
+}

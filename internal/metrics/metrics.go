@@ -142,10 +142,16 @@ func (d *DelayStats) Max() float64 {
 }
 
 // Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
-// nearest-rank interpolation, or 0 with no observations.
+// nearest-rank interpolation. Edge cases are total, never garbage: no
+// observations returns 0, a single observation is every percentile, p
+// outside [0, 100] clamps to the min/max, and a NaN p returns NaN
+// instead of indexing with an undefined conversion.
 func (d *DelayStats) Percentile(p float64) float64 {
 	if len(d.values) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	sorted := append([]float64(nil), d.values...)
 	sort.Float64s(sorted)

@@ -170,3 +170,40 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPercentileEdgeCases pins the total behaviour of Percentile: empty
+// stats, a single sample, out-of-range p and a NaN p must all return
+// documented values instead of indexing with an undefined float→int
+// conversion.
+func TestPercentileEdgeCases(t *testing.T) {
+	var empty DelayStats
+	for _, p := range []float64{-5, 0, 50, 100, 200, math.NaN()} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %g, want 0", p, got)
+		}
+	}
+
+	var one DelayStats
+	one.Add(42)
+	for _, p := range []float64{-5, 0, 1, 50, 99, 100, 200} {
+		if got := one.Percentile(p); got != 42 {
+			t.Errorf("single-sample Percentile(%v) = %g, want 42", p, got)
+		}
+	}
+	if got := one.Percentile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("single-sample Percentile(NaN) = %g, want NaN", got)
+	}
+
+	var d DelayStats
+	d.Add(10)
+	d.Add(20)
+	if got := d.Percentile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Percentile(NaN) = %g, want NaN", got)
+	}
+	if got := d.Percentile(-1); got != 10 {
+		t.Errorf("Percentile(-1) = %g, want min", got)
+	}
+	if got := d.Percentile(1000); got != 20 {
+		t.Errorf("Percentile(1000) = %g, want max", got)
+	}
+}

@@ -1,0 +1,53 @@
+package routing
+
+import (
+	"context"
+	"testing"
+)
+
+// TestExpelReadmitCounters pins the membership-churn counters: flapping a
+// replica off and back onto the network must count exactly the
+// transitions — one expel per healthy→unhealthy edge, one readmit per
+// recovery — not one per failed request, so the pair reads as membership
+// churn even under heavy error volume.
+func TestExpelReadmitCounters(t *testing.T) {
+	srvA := startReplica(t, stubDetector{})
+	srvB := startReplica(t, stubDetector{})
+	set, err := New(Config{Addrs: []string{srvA.Addr(), srvB.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	ctx := context.Background()
+	win := [][]float64{{2}}
+	const cycles = 3
+	for c := 0; c < cycles; c++ {
+		srvA.Partition(true)
+		set.CheckHealth() // probe fails → expel
+		if st := set.Status(); st[0].Healthy {
+			t.Fatalf("cycle %d: partitioned replica still healthy: %+v", c, st[0])
+		}
+		// Requests keep succeeding through the survivor and must not pile
+		// extra expels onto the already-expelled replica.
+		for i := 0; i < 5; i++ {
+			if _, err := set.DetectContext(ctx, win); err != nil {
+				t.Fatalf("cycle %d request %d: %v", c, i, err)
+			}
+		}
+		srvA.Partition(false)
+		set.CheckHealth() // probe answers → readmit
+		if st := set.Status(); !st[0].Healthy {
+			t.Fatalf("cycle %d: healed replica still unhealthy: %+v", c, st[0])
+		}
+	}
+
+	st := set.Status()
+	if st[0].Expels != cycles || st[0].Readmits != cycles {
+		t.Fatalf("victim churn = %d expels / %d readmits, want exactly %d/%d (transitions, not error volume): %+v",
+			st[0].Expels, st[0].Readmits, cycles, cycles, st[0])
+	}
+	if st[1].Expels != 0 || st[1].Readmits != 0 {
+		t.Fatalf("stable replica shows churn: %+v", st[1])
+	}
+}

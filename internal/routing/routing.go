@@ -87,6 +87,28 @@ type replica struct {
 	inflight atomic.Int64
 	requests atomic.Uint64
 	failures atomic.Uint64
+	expels   atomic.Uint64
+	readmits atomic.Uint64
+}
+
+// markHealthy records the replica as answering, counting the transition
+// as a readmission when it was previously expelled (a late first join —
+// a replica that was unreachable at New and came up afterwards — counts
+// too: it entered the rotation after being down).
+func (r *replica) markHealthy() {
+	if r.healthy.CompareAndSwap(false, true) {
+		r.readmits.Add(1)
+	}
+}
+
+// markUnhealthy records the replica as unreachable, counting the
+// transition as an expulsion. Repeated failures while already expelled
+// count once — the counters track membership churn, not error volume
+// (failures tracks that).
+func (r *replica) markUnhealthy() {
+	if r.healthy.CompareAndSwap(true, false) {
+		r.expels.Add(1)
+	}
 }
 
 // ensurePool returns the replica's connection pool, dialing it on first
@@ -284,12 +306,16 @@ func (s *ReplicaSet) CheckHealth() {
 			}()
 			select {
 			case ok := <-verdict:
-				r.healthy.Store(ok)
+				if ok {
+					r.markHealthy()
+				} else {
+					r.markUnhealthy()
+				}
 			case <-time.After(timeout):
 				// The probe overran its budget; treat the replica as down.
 				// Its late verdict is discarded — a later in-budget probe
 				// (or a successful request) readmits the replica.
-				r.healthy.Store(false)
+				r.markUnhealthy()
 			}
 		}(r)
 	}
@@ -388,7 +414,7 @@ func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) e
 		r := s.replicas[i]
 		pool, err := r.ensurePool(ctx, s.cfg.Dial, s.poolSize)
 		if err != nil {
-			r.healthy.Store(false)
+			r.markUnhealthy()
 			r.failures.Add(1)
 			lastErr = fmt.Errorf("routing: replica %s: %w", r.addr, err)
 			continue
@@ -398,7 +424,7 @@ func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) e
 		err = call(pool)
 		r.inflight.Add(-1)
 		if err == nil {
-			r.healthy.Store(true)
+			r.markHealthy()
 			return nil
 		}
 		r.failures.Add(1)
@@ -406,7 +432,7 @@ func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) e
 		if errors.Is(err, transport.ErrConn) {
 			// The connection died — this replica is gone until a probe or a
 			// successful attempt proves otherwise.
-			r.healthy.Store(false)
+			r.markUnhealthy()
 		}
 		if !retryable(ctx, err) {
 			return lastErr
@@ -477,6 +503,12 @@ type ReplicaStatus struct {
 	InFlight int
 	// Requests and Failures count attempts routed here and how many failed.
 	Requests, Failures uint64
+	// Expels counts healthy→unhealthy transitions (the replica was thrown
+	// out of the rotation by a connection failure or a failed probe);
+	// Readmits counts the reverse (it answered again and rejoined). The
+	// pair is the membership-churn signature a flapping replica leaves,
+	// which scenario validation asserts on.
+	Expels, Readmits uint64
 	// EvictedConns is how many broken connections the replica's pool has
 	// replaced.
 	EvictedConns uint64
@@ -492,6 +524,8 @@ func (s *ReplicaSet) Status() []ReplicaStatus {
 			InFlight: int(r.inflight.Load()),
 			Requests: r.requests.Load(),
 			Failures: r.failures.Load(),
+			Expels:   r.expels.Load(),
+			Readmits: r.readmits.Load(),
 		}
 		r.mu.Lock()
 		if r.pool != nil {

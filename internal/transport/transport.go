@@ -289,6 +289,11 @@ type Server struct {
 	model    *ModelSnapshot
 	maxCodec uint8
 
+	// Fault-injection hooks for scenario testing (see SetFaultDelay and
+	// Partition); both zero in production.
+	faultDelay  atomic.Int64 // extra per-request service time, ns
+	partitioned atomic.Bool  // drop new connections, sever existing ones
+
 	lis    net.Listener
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -327,12 +332,60 @@ func ServeWith(addr string, det anomaly.Detector, opt ServerOptions) (*Server, e
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
 
+// SetFaultDelay injects d of extra service time into every detection
+// request (OpHello is exempt, so liveness pings and codec negotiation
+// still answer promptly — a straggler is slow, not dead). The delay is
+// slept outside the server's measured processing time, so clients see it
+// exactly where a real straggler's queueing shows up: in measured network
+// time, and in the replica's in-flight count. d ≤ 0 removes the fault.
+// Safe to call concurrently with live traffic; it is the scenario
+// engine's straggler hook.
+func (s *Server) SetFaultDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.faultDelay.Store(int64(d))
+}
+
+// FaultDelay returns the currently injected per-request service delay.
+func (s *Server) FaultDelay() time.Duration { return time.Duration(s.faultDelay.Load()) }
+
+// Partition simulates a network partition around the server: on severs
+// every established connection and makes the accept loop drop new ones on
+// arrival, so peers see connection-level failures (ErrConn) exactly as
+// they would across a real partition — dials "succeed" at the TCP layer
+// but no handshake ever completes. Partition(false) heals it: the
+// listener was never closed, so clients redial and recover. It is the
+// scenario engine's partition/flapping-health hook and is idempotent in
+// both directions.
+func (s *Server) Partition(on bool) {
+	s.partitioned.Store(on)
+	if !on {
+		return
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+}
+
+// Partitioned reports whether the server is currently partitioned.
+func (s *Server) Partitioned() bool { return s.partitioned.Load() }
+
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
 	for {
 		conn, err := s.lis.Accept()
 		if err != nil {
 			return // listener closed
+		}
+		if s.partitioned.Load() {
+			// Partitioned: the TCP connect succeeded, but nothing crosses
+			// the cut — the peer's handshake fails and classifies as
+			// ErrConn, just like a mid-stream sever.
+			conn.Close()
+			continue
 		}
 		if tcp, ok := conn.(*net.TCPConn); ok {
 			// Keep-alive sockets, as in the paper's testbed.
@@ -392,6 +445,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				<-slots
 				inflight.Done()
 			}()
+			// Straggler injection: sleep the fault delay outside the
+			// measured processing time, so clients account it as network/
+			// queueing time — and while sleeping, the request occupies an
+			// in-flight slot, which is what lets load-aware routing see the
+			// straggler. The ping/negotiation op stays fast: slow ≠ dead.
+			if d := s.faultDelay.Load(); d > 0 && req.Op != OpHello {
+				time.Sleep(time.Duration(d))
+			}
 			resp := s.handle(req)
 			// Respond in the request's codec: a peer only sends binary
 			// frames once negotiation proved both sides decode them. Model

@@ -1,0 +1,73 @@
+package workload
+
+import "fmt"
+
+// Cohort is one heterogeneous sub-fleet of simulated devices: every
+// member routes with the same scheme, dispatches with the same batch
+// size, and paces itself by the same arrival pattern. A fleet run is a
+// list of cohorts running concurrently — which is how all six HEC schemes
+// end up live in one run, each with its own size and reward weight.
+//
+// Scheme is the cluster runtime's CLI token
+// (iot|edge|cloud|successive|adaptive|pathological); the runtime parses
+// and rejects unknown tokens at run start, keeping this package free of a
+// dependency on the runtime's types.
+type Cohort struct {
+	// Name labels the cohort in stats; empty defaults to the scheme token.
+	Name string
+	// Scheme is the routing-scheme token every device in the cohort uses.
+	Scheme string
+	// Devices is the number of concurrent devices (< 1 means 1).
+	Devices int
+	// Rounds is how many passes over the sample set each device makes
+	// (< 1 means 1).
+	Rounds int
+	// BatchSize > 1 makes each device ship that many windows per request;
+	// smaller values keep per-window dispatch.
+	BatchSize int
+	// Alpha is the delay-cost weight of the cohort's per-window reward.
+	Alpha float64
+	// Pattern modulates the cohort's arrival pacing; nil streams as fast
+	// as the serving plane allows (the closed-loop default).
+	Pattern Pattern
+}
+
+// Label returns the cohort's display name: Name, or the scheme token.
+func (c Cohort) Label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Scheme
+}
+
+// Validate rejects cohorts the runtime could not run: a missing scheme
+// token or a negative reward weight. Sizing fields are clamped by the
+// runtime instead (matching the load generator's historical contract).
+func (c Cohort) Validate() error {
+	if c.Scheme == "" {
+		return fmt.Errorf("workload: cohort %q has no scheme", c.Label())
+	}
+	if c.Alpha < 0 {
+		return fmt.Errorf("workload: cohort %q has negative alpha %g", c.Label(), c.Alpha)
+	}
+	return nil
+}
+
+// ValidateCohorts validates a whole fleet: at least one cohort, every
+// cohort valid, and no duplicate labels (stats would be ambiguous).
+func ValidateCohorts(cohorts []Cohort) error {
+	if len(cohorts) == 0 {
+		return fmt.Errorf("workload: a fleet needs at least one cohort")
+	}
+	seen := make(map[string]bool, len(cohorts))
+	for _, c := range cohorts {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Label()] {
+			return fmt.Errorf("workload: duplicate cohort label %q", c.Label())
+		}
+		seen[c.Label()] = true
+	}
+	return nil
+}

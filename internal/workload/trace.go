@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TraceEvent is one recorded window arrival: at AtMs milliseconds into
+// the recording, device Device dispatched one window under Scheme.
+type TraceEvent struct {
+	AtMs   float64 `json:"t_ms"`
+	Device string  `json:"device"`
+	Scheme string  `json:"scheme"`
+}
+
+// Trace is a recorded fleet: a global, time-ordered sequence of window
+// arrivals. Replaying it (cluster.RunFleet with FleetConfig.Trace) re-runs
+// the recorded arrival process deterministically — window contents are
+// drawn from the run's seed, so the same seed and trace reproduce the
+// same detections.
+type Trace struct {
+	Events []TraceEvent
+}
+
+// Validate enforces the trace invariants both parsers rely on: at least
+// one event, no empty device or scheme, finite non-negative timestamps,
+// and a non-decreasing global timeline (a recording cannot run backwards;
+// merge-sort offline traces before replaying them).
+func (tr *Trace) Validate() error {
+	if tr == nil || len(tr.Events) == 0 {
+		return fmt.Errorf("workload: empty trace")
+	}
+	prev := math.Inf(-1)
+	for i, e := range tr.Events {
+		if e.Device == "" {
+			return fmt.Errorf("workload: trace event %d has no device", i)
+		}
+		if e.Scheme == "" {
+			return fmt.Errorf("workload: trace event %d (device %q) has no scheme", i, e.Device)
+		}
+		if math.IsNaN(e.AtMs) || math.IsInf(e.AtMs, 0) || e.AtMs < 0 {
+			return fmt.Errorf("workload: trace event %d has invalid timestamp %v", i, e.AtMs)
+		}
+		if e.AtMs < prev {
+			return fmt.Errorf("workload: trace event %d out of order (%.3f ms after %.3f ms)", i, e.AtMs, prev)
+		}
+		prev = e.AtMs
+	}
+	return nil
+}
+
+// Devices returns the per-device event sequences, each preserving the
+// recorded order, with device names sorted for a stable iteration order.
+func (tr *Trace) Devices() (names []string, byDevice map[string][]TraceEvent) {
+	byDevice = make(map[string][]TraceEvent)
+	for _, e := range tr.Events {
+		byDevice[e.Device] = append(byDevice[e.Device], e)
+	}
+	names = make([]string, 0, len(byDevice))
+	for name := range byDevice {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, byDevice
+}
+
+// Schemes returns the distinct scheme tokens in the trace, sorted.
+func (tr *Trace) Schemes() []string {
+	seen := make(map[string]bool)
+	for _, e := range tr.Events {
+		seen[e.Scheme] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Duration returns the recorded timeline's length (the last event's
+// timestamp).
+func (tr *Trace) Duration() time.Duration {
+	if len(tr.Events) == 0 {
+		return 0
+	}
+	last := tr.Events[len(tr.Events)-1].AtMs
+	return time.Duration(last * float64(time.Millisecond))
+}
+
+// ParseTraceCSV reads a recorded fleet from CSV. Each record is
+// "t_ms,device,scheme"; blank lines and #-comments are skipped, and an
+// optional header row naming those columns is tolerated. Ragged rows
+// (anything but 3 fields), unparsable or negative timestamps, and
+// out-of-order records are rejected with the offending line, never
+// papered over — a trace that parses replays exactly as recorded.
+func ParseTraceCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // raggedness is our error to report, not csv's
+	cr.Comment = '#'
+	cr.TrimLeadingSpace = true
+	tr := &Trace{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace csv: %w", err)
+		}
+		line, _ := cr.FieldPos(0)
+		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
+			continue
+		}
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("workload: trace csv line %d: %d fields, want 3 (t_ms,device,scheme)", line, len(rec))
+		}
+		if len(tr.Events) == 0 && strings.EqualFold(strings.TrimSpace(rec[0]), "t_ms") {
+			continue // header row
+		}
+		at, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace csv line %d: bad timestamp %q", line, rec[0])
+		}
+		tr.Events = append(tr.Events, TraceEvent{
+			AtMs:   at,
+			Device: strings.TrimSpace(rec[1]),
+			Scheme: strings.TrimSpace(rec[2]),
+		})
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ParseTraceJSON reads a recorded fleet from JSON: either a bare array of
+// events ([{"t_ms":0,"device":"d0","scheme":"edge"}, ...]) or an object
+// with an "events" array. The same invariants as ParseTraceCSV apply.
+func ParseTraceJSON(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(io.LimitReader(r, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("workload: trace json: %w", err)
+	}
+	tr := &Trace{}
+	if err := json.Unmarshal(data, &tr.Events); err != nil {
+		var obj struct {
+			Events []TraceEvent `json:"events"`
+		}
+		if err2 := json.Unmarshal(data, &obj); err2 != nil {
+			return nil, fmt.Errorf("workload: trace json: %w", err)
+		}
+		tr.Events = obj.Events
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

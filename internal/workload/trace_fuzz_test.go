@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTraceCSV drives arbitrary bytes through the CSV trace parser.
+// The property under test: the parser never panics, and anything it
+// accepts satisfies the trace invariants (Validate passes, every event
+// has a device and scheme, the timeline is non-decreasing) and survives a
+// round trip through its own device partition.
+func FuzzParseTraceCSV(f *testing.F) {
+	f.Add([]byte("t_ms,device,scheme\n0,dev-a,edge\n1,dev-b,cloud\n"))
+	f.Add([]byte("# comment\n0,a,iot\n0,a,iot\n2.5,b,adaptive\n"))
+	f.Add([]byte("0,dev,successive"))
+	f.Add([]byte("1,dev\n"))         // ragged
+	f.Add([]byte("x,dev,edge\n"))    // bad timestamp
+	f.Add([]byte("5,a,edge\n1,b,c")) // out of order
+	f.Add([]byte(""))
+	f.Add([]byte("\xff\xfe,a,b\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTraceCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails Validate: %v", err)
+		}
+		prev := -1.0
+		for i, e := range tr.Events {
+			if e.Device == "" || e.Scheme == "" {
+				t.Fatalf("event %d accepted with empty field: %+v", i, e)
+			}
+			if strings.ContainsAny(e.Device, "\n") {
+				t.Fatalf("event %d device embeds newline: %q", i, e.Device)
+			}
+			if e.AtMs < prev {
+				t.Fatalf("event %d out of order after parse", i)
+			}
+			prev = e.AtMs
+		}
+		names, byDev := tr.Devices()
+		total := 0
+		for _, n := range names {
+			total += len(byDev[n])
+		}
+		if total != len(tr.Events) {
+			t.Fatalf("device partition lost events: %d vs %d", total, len(tr.Events))
+		}
+	})
+}

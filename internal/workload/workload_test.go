@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPatternShapes(t *testing.T) {
+	d := Diurnal(time.Minute, 1, 5)
+	if got := d.Intensity(0); !almost(got, 1) {
+		t.Fatalf("diurnal at t=0: %g, want base 1", got)
+	}
+	if got := d.Intensity(30 * time.Second); !almost(got, 5) {
+		t.Fatalf("diurnal at half period: %g, want peak 5", got)
+	}
+	if got := d.Intensity(time.Minute); !almost(got, 1) {
+		t.Fatalf("diurnal after full period: %g, want base 1", got)
+	}
+
+	b := Burst(10*time.Second, 0.2, 1, 8)
+	if got := b.Intensity(time.Second); !almost(got, 8) {
+		t.Fatalf("burst inside duty: %g, want peak 8", got)
+	}
+	if got := b.Intensity(5 * time.Second); !almost(got, 1) {
+		t.Fatalf("burst outside duty: %g, want base 1", got)
+	}
+
+	r := Ramp(10*time.Second, 0, 4)
+	if got := r.Intensity(5 * time.Second); !almost(got, 2) {
+		t.Fatalf("ramp midpoint: %g, want 2", got)
+	}
+	if got := r.Intensity(time.Hour); !almost(got, 4) {
+		t.Fatalf("ramp holds target: %g, want 4", got)
+	}
+
+	s := Spike(5*time.Second, time.Second, 1, 10)
+	if got := s.Intensity(5500 * time.Millisecond); !almost(got, 10) {
+		t.Fatalf("inside spike: %g, want 10", got)
+	}
+	if got := s.Intensity(7 * time.Second); !almost(got, 1) {
+		t.Fatalf("outside spike: %g, want base 1", got)
+	}
+
+	sum := Sum(Uniform(1), Uniform(2))
+	if got := sum.Intensity(0); !almost(got, 3) {
+		t.Fatalf("sum: %g, want 3", got)
+	}
+	for _, p := range []Pattern{d, b, r, s, sum, Uniform(1)} {
+		if p.Name() == "" {
+			t.Fatalf("%T has empty name", p)
+		}
+	}
+}
+
+func TestGap(t *testing.T) {
+	if got := Gap(nil, 0, time.Second); got != 0 {
+		t.Fatalf("nil pattern gap = %v, want 0", got)
+	}
+	if got := Gap(Uniform(2), 0, 0); got != 0 {
+		t.Fatalf("zero base gap = %v, want 0", got)
+	}
+	if got := Gap(Uniform(2), 0, time.Second); got != 500*time.Millisecond {
+		t.Fatalf("gap at intensity 2 = %v, want 500ms", got)
+	}
+	// Non-positive intensity clamps to MinIntensity: a lull slows the
+	// device down but cannot stall it forever.
+	if got, max := Gap(Uniform(0), 0, time.Second), time.Duration(float64(time.Second)/MinIntensity); got != max {
+		t.Fatalf("clamped gap = %v, want %v", got, max)
+	}
+}
+
+func TestCohortValidation(t *testing.T) {
+	if err := (Cohort{Scheme: "edge"}).Validate(); err != nil {
+		t.Fatalf("valid cohort rejected: %v", err)
+	}
+	if err := (Cohort{}).Validate(); err == nil {
+		t.Fatal("cohort without scheme must be rejected")
+	}
+	if err := (Cohort{Scheme: "edge", Alpha: -1}).Validate(); err == nil {
+		t.Fatal("negative alpha must be rejected")
+	}
+	if err := ValidateCohorts(nil); err == nil {
+		t.Fatal("empty fleet must be rejected")
+	}
+	dup := []Cohort{{Scheme: "edge"}, {Scheme: "edge"}}
+	if err := ValidateCohorts(dup); err == nil {
+		t.Fatal("duplicate labels must be rejected")
+	}
+	named := []Cohort{{Scheme: "edge"}, {Name: "edge-2", Scheme: "edge"}}
+	if err := ValidateCohorts(named); err != nil {
+		t.Fatalf("distinct labels rejected: %v", err)
+	}
+	if got := (Cohort{Name: "x", Scheme: "edge"}).Label(); got != "x" {
+		t.Fatalf("label = %q, want name", got)
+	}
+	if got := (Cohort{Scheme: "edge"}).Label(); got != "edge" {
+		t.Fatalf("label = %q, want scheme fallback", got)
+	}
+}
+
+func TestParseTraceCSV(t *testing.T) {
+	const good = `# recorded fleet
+t_ms,device,scheme
+0,dev-a,edge
+
+1.5, dev-b, cloud
+3,dev-a,adaptive
+`
+	tr, err := ParseTraceCSV(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 3 {
+		t.Fatalf("parsed %d events, want 3", len(tr.Events))
+	}
+	if tr.Events[1].Device != "dev-b" || tr.Events[1].Scheme != "cloud" || !almost(tr.Events[1].AtMs, 1.5) {
+		t.Fatalf("event 1 = %+v", tr.Events[1])
+	}
+	names, byDev := tr.Devices()
+	if len(names) != 2 || names[0] != "dev-a" || names[1] != "dev-b" {
+		t.Fatalf("devices = %v", names)
+	}
+	if len(byDev["dev-a"]) != 2 {
+		t.Fatalf("dev-a events = %d, want 2", len(byDev["dev-a"]))
+	}
+	if got := tr.Schemes(); len(got) != 3 || got[0] != "adaptive" {
+		t.Fatalf("schemes = %v", got)
+	}
+	if got := tr.Duration(); got != 3*time.Millisecond {
+		t.Fatalf("duration = %v, want 3ms", got)
+	}
+
+	bad := map[string]string{
+		"ragged row":    "0,dev-a,edge\n1,dev-b\n",
+		"extra field":   "0,dev-a,edge,junk\n",
+		"bad timestamp": "zero,dev-a,edge\n",
+		"negative time": "-1,dev-a,edge\n",
+		"out of order":  "5,dev-a,edge\n2,dev-b,cloud\n",
+		"empty device":  "0,,edge\n",
+		"empty scheme":  "0,dev-a,\n",
+		"empty trace":   "",
+		"header only":   "t_ms,device,scheme\n",
+		"comment only":  "# nothing here\n",
+	}
+	for name, in := range bad {
+		if _, err := ParseTraceCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+	// Ragged-row errors name the offending line.
+	_, err = ParseTraceCSV(strings.NewReader("0,dev-a,edge\n1,dev-b\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("ragged error = %v, want line 2 reference", err)
+	}
+}
+
+func TestParseTraceJSON(t *testing.T) {
+	bare := `[{"t_ms":0,"device":"a","scheme":"edge"},{"t_ms":2,"device":"b","scheme":"cloud"}]`
+	tr, err := ParseTraceJSON(strings.NewReader(bare))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Fatalf("bare array: %d events, want 2", len(tr.Events))
+	}
+	obj := `{"events":[{"t_ms":1,"device":"a","scheme":"iot"}]}`
+	tr, err = ParseTraceJSON(strings.NewReader(obj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Scheme != "iot" {
+		t.Fatalf("object form: %+v", tr.Events)
+	}
+	for name, in := range map[string]string{
+		"not json":     "nope",
+		"empty events": `{"events":[]}`,
+		"out of order": `[{"t_ms":5,"device":"a","scheme":"edge"},{"t_ms":1,"device":"b","scheme":"edge"}]`,
+		"nan literal":  `[{"t_ms":NaN,"device":"a","scheme":"edge"}]`,
+	} {
+		if _, err := ParseTraceJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+// TestTraceValidateProperties nails the parser invariants the fleet engine
+// leans on: any trace that parses has per-device sequences whose
+// concatenation is exactly the event list, and a non-decreasing timeline.
+func TestTraceValidateProperties(t *testing.T) {
+	tr := &Trace{Events: []TraceEvent{
+		{AtMs: 0, Device: "b", Scheme: "edge"},
+		{AtMs: 0, Device: "a", Scheme: "cloud"},
+		{AtMs: 1, Device: "b", Scheme: "edge"},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	names, byDev := tr.Devices()
+	total := 0
+	for _, n := range names {
+		evs := byDev[n]
+		total += len(evs)
+		for i := 1; i < len(evs); i++ {
+			if evs[i].AtMs < evs[i-1].AtMs {
+				t.Fatalf("device %q sequence out of order", n)
+			}
+		}
+	}
+	if total != len(tr.Events) {
+		t.Fatalf("device partition lost events: %d vs %d", total, len(tr.Events))
+	}
+}

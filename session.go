@@ -398,6 +398,26 @@ func (s *System) Open(scheme Scheme, opts ...SessionOption) (*Session, error) {
 // Scheme returns the routing scheme the session was opened with.
 func (s *Session) Scheme() Scheme { return s.scheme }
 
+// TierStatus re-exports the cluster runtime's per-tier routing report: the
+// replica-choice policy, admission sheds, and per-replica request/failure/
+// expel/readmit counters.
+type TierStatus = cluster.TierStatus
+
+// TierStatus snapshots the routing state of every tier this session
+// reaches through a replica set (or any remote exposing routing
+// introspection): which replicas are in the rotation, how requests and
+// failures distributed across them, and the expel/readmit churn the
+// health checker observed. Counters are absolute for the session's
+// lifetime. Tiers served in-process or over a plain pool report nothing.
+func (s *Session) TierStatus() []TierStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return cluster.TierStatuses(s.dev)
+}
+
 // Detect judges one window. Cancelling ctx (or passing one whose deadline
 // has passed) aborts the dispatch — including remote response waits and
 // injected link delays — and returns a *Error satisfying both the repro
