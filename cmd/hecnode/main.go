@@ -42,23 +42,24 @@ import (
 
 func main() {
 	var (
-		layer = flag.String("layer", "edge", "layer this node plays: iot | edge | cloud")
-		data  = flag.String("data", "univariate", "dataset: univariate | multivariate")
-		addr  = flag.String("addr", "127.0.0.1:0", "listen address")
-		seed  = flag.Int64("seed", 1, "training seed (use the same across nodes)")
-		save  = flag.String("save", "", "write the trained model artifact to this file")
-		load  = flag.String("load", "", "load the model artifact from this file instead of training")
-		fetch = flag.String("fetch", "", "fetch the model from a running peer node instead of training")
-		drain = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: finish in-flight requests for up to this long on SIGTERM")
+		layer  = flag.String("layer", "edge", "layer this node plays: iot | edge | cloud")
+		data   = flag.String("data", "univariate", "dataset: univariate | multivariate")
+		addr   = flag.String("addr", "127.0.0.1:0", "listen address")
+		seed   = flag.Int64("seed", 1, "training seed (use the same across nodes)")
+		save   = flag.String("save", "", "write the trained model artifact to this file")
+		load   = flag.String("load", "", "load the model artifact from this file instead of training")
+		fetch  = flag.String("fetch", "", "fetch the model from a running peer node instead of training")
+		drain  = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: finish in-flight requests for up to this long on SIGTERM")
+		orphan = flag.Bool("exit-with-parent", false, "drain and exit when the spawning process dies (for autoscaler-spawned replicas)")
 	)
 	flag.Parse()
-	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch, *drain); err != nil {
+	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch, *drain, *orphan); err != nil {
 		fmt.Fprintln(os.Stderr, "hecnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(layerName, data, addr string, seed int64, save, load, fetch string, drain time.Duration) error {
+func run(layerName, data, addr string, seed int64, save, load, fetch string, drain time.Duration, orphan bool) error {
 	l, err := parseLayer(layerName)
 	if err != nil {
 		return err
@@ -144,6 +145,19 @@ func run(layerName, data, addr string, seed int64, save, load, fetch string, dra
 	// immediate close.
 	stop := make(chan os.Signal, 2)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if orphan {
+		// Autoscaler-spawned replicas must not outlive their control plane:
+		// when the spawning process dies (our PPID changes — the node is
+		// reparented to init/subreaper), enter the same graceful drain a
+		// SIGTERM would trigger.
+		ppid := os.Getppid()
+		go func() {
+			for os.Getppid() == ppid {
+				time.Sleep(500 * time.Millisecond)
+			}
+			stop <- syscall.SIGTERM
+		}()
+	}
 	<-stop
 	fmt.Printf("hecnode: draining (finishing in-flight requests, budget %v; signal again to force)\n", drain)
 	ctx, cancel := context.WithTimeout(context.Background(), drain)

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/autoencoder"
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/features"
@@ -59,6 +60,7 @@ func main() {
 		cloudAdr = flag.String("cloud", "", "external cloud hecnode address (default: in-process replicas)")
 		batch    = flag.Int("batch", 0, "windows shipped per request (<2 = per-window dispatch)")
 		scenario = flag.String("scenario", "", "scripted fault scenario over a mixed cohort fleet: spike-kill | straggler | flap (needs in-process edge replicas)")
+		elastic  = flag.Bool("autoscale", false, "elastic-fleet demo: a load spike drives the cloud tier 1→4 replicas and drains back to 1 (needs in-process cloud replicas)")
 	)
 	flag.Parse()
 	// ^C cancels the context, which drains the device fleet promptly: each
@@ -66,7 +68,7 @@ func main() {
 	// deadline-propagating transport.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	err := run(ctx, *devices, *rounds, *scale, *poolSize, *replicas, *policy, *seed, *edgeAddr, *cloudAdr, *batch, *scenario)
+	err := run(ctx, *devices, *rounds, *scale, *poolSize, *replicas, *policy, *seed, *edgeAddr, *cloudAdr, *batch, *scenario, *elastic)
 	if errors.Is(err, context.Canceled) {
 		fmt.Println("\ninterrupted — device fleet drained")
 		return
@@ -76,7 +78,10 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, policyName string, seed int64, edgeAddr, cloudAddr string, batch int, scenario string) error {
+func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, policyName string, seed int64, edgeAddr, cloudAddr string, batch int, scenario string, elastic bool) error {
+	if elastic && cloudAddr != "" {
+		return fmt.Errorf("-autoscale needs in-process cloud replicas: drop -cloud")
+	}
 	if scale < 1 {
 		scale = 1
 	}
@@ -172,10 +177,16 @@ func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, po
 			edgeAddrs = append(edgeAddrs, srv.Addr())
 		}
 	}
+	cloudReplicas := replicas
+	if elastic {
+		// The elastic demo starts the cloud tier at its floor; the
+		// autoscaler provides the rest on demand.
+		cloudReplicas = 1
+	}
 	if cloudAddr != "" {
 		cloudAddrs = []string{cloudAddr}
 	} else {
-		for i := 0; i < replicas; i++ {
+		for i := 0; i < cloudReplicas; i++ {
 			srv, err := serveLayer(hec.LayerCloud, detectors[hec.LayerCloud], top)
 			if err != nil {
 				return err
@@ -237,6 +248,9 @@ func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, po
 		testSamples[i] = hec.Sample{Frames: uniFrames(s.Values), Label: s.Label}
 	}
 
+	if elastic {
+		return runAutoscale(ctx, dev, cloudSet, detectors[hec.LayerCloud], top, testSamples, devices, rounds, seed)
+	}
 	if scenario != "" {
 		return runScenario(ctx, dev, edgeSet, edgeSrvs, testSamples, scenario, devices, rounds, seed)
 	}
@@ -345,6 +359,83 @@ func runScenario(ctx context.Context, dev *cluster.Device, edgeSet *routing.Repl
 	}
 	fmt.Println()
 	fmt.Print(fs.Report())
+	return nil
+}
+
+// runAutoscale is the elastic-fleet demo: the cloud tier starts at one
+// replica under an autoscaling control loop whose spawner serves more
+// in-process cloud replicas on demand. A flash-crowd cohort (workload.
+// Spike) floods the tier, the controller rides the spike up to four
+// replicas, and once traffic stops the cooldown-gated drain walks the
+// tier back down to one — with every in-flight window finishing first, so
+// the run completes with zero dropped windows.
+func runAutoscale(ctx context.Context, dev *cluster.Device, cloudSet *routing.ReplicaSet, cloudDet *autoencoder.Model, top hec.Topology, samples []hec.Sample, devices, rounds int, seed int64) error {
+	snap, err := cluster.SnapshotDetector(cloudDet, hec.LayerCloud.String(), false)
+	if err != nil {
+		return err
+	}
+	execMs, err := top.ExecTimeFunc(hec.LayerCloud, cloudDet, false)
+	if err != nil {
+		return err
+	}
+	spawner := autoscale.ServeSpawner(cloudDet, transport.ServerOptions{ExecMs: execMs, Model: snap})
+	ctl, err := autoscale.New(autoscale.Config{
+		Name:      "cloud",
+		Collector: autoscale.CollectSet(cloudSet),
+		Policy: &autoscale.TargetUtilization{
+			TargetInFlight: 2,
+			Min:            1,
+			Max:            4,
+			UpCooldown:     100 * time.Millisecond,
+			DownCooldown:   300 * time.Millisecond,
+		},
+		Actuator: autoscale.NewSetActuator(cloudSet, spawner),
+		Interval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+
+	// A flash crowd: quiet for 200 ms, then every device hammers the cloud
+	// tier flat-out for two seconds, then quiet again.
+	pattern := workload.Spike(200*time.Millisecond, 2*time.Second, 0.25, 40)
+	cohorts := []workload.Cohort{
+		{Name: "cloud-spike", Scheme: "cloud", Devices: devices, Rounds: rounds, Alpha: 5e-4, Pattern: pattern},
+	}
+	fmt.Printf("\nelastic demo: %d devices × %d rounds ride %s against a 1-replica cloud tier (max 4)\n",
+		devices, rounds, pattern.Name())
+	fs, err := cluster.RunFleet(ctx, dev, samples, cluster.FleetConfig{
+		Cohorts:      cohorts,
+		Seed:         seed,
+		BaseInterval: 2 * time.Millisecond,
+		Autoscalers:  []*autoscale.Controller{ctl},
+	})
+	if err != nil {
+		return fmt.Errorf("elastic demo: %w", err)
+	}
+	fmt.Println()
+	fmt.Print(fs.Report())
+
+	// Traffic is gone; keep stepping the controller so the cooldown-gated
+	// drain can walk the tier back to its floor.
+	fmt.Printf("\ndraining: %d replicas serving, scaling back to 1...\n", cloudSet.Size())
+	deadline := time.Now().Add(15 * time.Second)
+	for cloudSet.Size() > 1 && time.Now().Before(deadline) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := ctl.Step(ctx, time.Now()); err != nil {
+			return fmt.Errorf("elastic demo drain: %w", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st := ctl.Status()
+	if cloudSet.Size() != 1 {
+		return fmt.Errorf("elastic demo: cloud tier stuck at %d replicas after drain window", cloudSet.Size())
+	}
+	fmt.Printf("spike absorbed: %d windows, replicas 1→%d→%d, %d scale-ups / %d scale-downs, zero dropped windows\n",
+		fs.Total.Windows, st.HighWater, cloudSet.Size(), st.ScaleUps, st.ScaleDowns)
 	return nil
 }
 

@@ -1,0 +1,335 @@
+// Package autoscale is the elastic-fleet control plane over the routing
+// layer's dynamic membership: a Collect → Analyze → Decide → Actuate loop
+// that grows a tier when load signals say its replicas are saturated and
+// drains it back when they idle, mirroring the four-stage model-autoscaler
+// pipeline from the inference-sim related work (up/down cooldowns, a
+// no-op-determinism invariant under steady load).
+//
+// The stages are pluggable: a Collector scrapes load signals (the built-in
+// one reads a routing.ReplicaSet's per-replica in-flight counts, rolling
+// service-time percentiles and admission sheds), a Policy turns one sample
+// into a desired replica count (TargetUtilization: hysteresis around a
+// per-replica in-flight target, cooldown-gated, min/max-clamped), and an
+// Actuator moves the tier there (the built-in one provisions replicas
+// through a Spawner — in-process transport.Servers or hecnode child
+// processes — and drains them through ReplicaSet.Remove, newest first,
+// never below the seed membership it was handed).
+//
+// The invariant tests pin: a controller over a steady fleet makes zero
+// scale decisions and leaves the run's stats bit-identical to a
+// controller-less run, and an elastic run drops zero windows — scaling is
+// additive capacity, never correctness.
+package autoscale
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/routing"
+)
+
+// Metrics is one collected load sample — the Collect stage's output and
+// the Decide stage's input.
+type Metrics struct {
+	// Replicas is the tier's current membership size; Healthy how many of
+	// them are answering.
+	Replicas, Healthy int
+	// InFlight is the requests riding the tier right now, summed across
+	// replicas.
+	InFlight int
+	// Shed is the cumulative admission-shed count.
+	Shed uint64
+	// P99Ms is the worst per-replica rolling p99 service time (ms).
+	P99Ms float64
+}
+
+// Collector produces one load sample per control-loop tick. Collect must
+// be safe to call concurrently with serving traffic and must not perturb
+// routing — the no-op-determinism invariant depends on observation being
+// free.
+type Collector interface {
+	Collect() Metrics
+}
+
+// CollectSet returns a Collector scraping a ReplicaSet's Status.
+func CollectSet(set *routing.ReplicaSet) Collector { return setCollector{set} }
+
+type setCollector struct{ set *routing.ReplicaSet }
+
+func (c setCollector) Collect() Metrics {
+	m := Metrics{Shed: c.set.Shed()}
+	for _, st := range c.set.Status() {
+		m.Replicas++
+		if st.Healthy {
+			m.Healthy++
+		}
+		m.InFlight += st.InFlight
+		if st.ServiceP99Ms > m.P99Ms {
+			m.P99Ms = st.ServiceP99Ms
+		}
+	}
+	return m
+}
+
+// Actuator is the Actuate stage: move the tier to a target replica count.
+// Implementations must report the count actually reached — a partial
+// scale-up (spawner failure mid-way) returns what it got to, with the
+// error.
+type Actuator interface {
+	ScaleTo(ctx context.Context, target int) (reached int, err error)
+}
+
+// SetActuator actuates against a routing.ReplicaSet: scale-up spawns a
+// replica through the Spawner and Adds it to the rotation; scale-down
+// Removes the most recently spawned replica (drain-aware: in-flight work
+// finishes before its process is stopped). It only ever drains replicas
+// it spawned itself — the seed membership the set started with is its
+// floor, so a misconfigured policy cannot drain a tier it doesn't own.
+type SetActuator struct {
+	set     *routing.ReplicaSet
+	spawner Spawner
+
+	mu      sync.Mutex
+	spawned []spawnedReplica // LIFO: newest is drained first
+}
+
+type spawnedReplica struct {
+	addr string
+	stop func() error
+}
+
+// NewSetActuator wires an actuator to the set it scales and the spawner
+// that provisions replicas for it.
+func NewSetActuator(set *routing.ReplicaSet, spawner Spawner) *SetActuator {
+	return &SetActuator{set: set, spawner: spawner}
+}
+
+// ScaleTo implements Actuator.
+func (a *SetActuator) ScaleTo(ctx context.Context, target int) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cur := a.set.Size()
+	for cur < target {
+		addr, stop, err := a.spawner.Spawn(ctx)
+		if err != nil {
+			return cur, fmt.Errorf("autoscale: spawning replica %d/%d: %w", cur+1, target, err)
+		}
+		if err := a.set.Add(addr); err != nil {
+			if stop != nil {
+				stop()
+			}
+			return cur, fmt.Errorf("autoscale: admitting spawned replica %s: %w", addr, err)
+		}
+		a.spawned = append(a.spawned, spawnedReplica{addr: addr, stop: stop})
+		cur++
+	}
+	for cur > target {
+		if len(a.spawned) == 0 {
+			return cur, fmt.Errorf("autoscale: %d replicas above target %d are not ours to drain (seed membership is the floor)", cur, target)
+		}
+		top := a.spawned[len(a.spawned)-1]
+		if err := a.set.Remove(top.addr); err != nil {
+			return cur, fmt.Errorf("autoscale: draining replica %s: %w", top.addr, err)
+		}
+		a.spawned = a.spawned[:len(a.spawned)-1]
+		if top.stop != nil {
+			if err := top.stop(); err != nil {
+				return cur - 1, fmt.Errorf("autoscale: stopping drained replica %s: %w", top.addr, err)
+			}
+		}
+		cur--
+	}
+	return cur, nil
+}
+
+// Close drains every replica the actuator spawned, returning the tier to
+// its seed membership. Used by Controller.Close for leak-free teardown.
+func (a *SetActuator) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var errs []error
+	for len(a.spawned) > 0 {
+		top := a.spawned[len(a.spawned)-1]
+		a.spawned = a.spawned[:len(a.spawned)-1]
+		if err := a.set.Remove(top.addr); err != nil {
+			errs = append(errs, err)
+		}
+		if top.stop != nil {
+			if err := top.stop(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Config parameterises a Controller.
+type Config struct {
+	// Collector, Policy and Actuator are the loop's three pluggable
+	// stages; all are required.
+	Collector Collector
+	Policy    Policy
+	Actuator  Actuator
+	// Interval is the control-loop cadence (default 250 ms).
+	Interval time.Duration
+	// Name labels the controller in status lines and fleet reports.
+	Name string
+}
+
+// Status is a controller's observable state.
+type Status struct {
+	// Name is Config.Name.
+	Name string
+	// Replicas is the membership size at the last Collect; HighWater the
+	// largest ever observed.
+	Replicas, HighWater int
+	// ScaleUps and ScaleDowns count actuated scale operations — loop
+	// rounds whose decision changed the replica count. A steady-load run
+	// must show zero of each (the no-op-determinism invariant).
+	ScaleUps, ScaleDowns uint64
+}
+
+// String renders the one-line summary fleet reports embed.
+func (st Status) String() string {
+	return fmt.Sprintf("autoscale %-8s replicas=%d high=%d ups=%d downs=%d",
+		st.Name, st.Replicas, st.HighWater, st.ScaleUps, st.ScaleDowns)
+}
+
+// Controller runs the Collect → Analyze → Decide → Actuate loop on its
+// own goroutine. Start and Stop pair freely (cluster.RunFleet scopes a
+// controller to one run that way); Close stops the loop and drains every
+// replica the actuator spawned. Step is the loop body, exported so tests
+// — and anything needing a synchronous decision — can drive rounds
+// deterministically without a ticker.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex // serialises Step and guards loop state
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	running bool
+
+	replicas   atomic.Int64
+	highWater  atomic.Int64
+	scaleUps   atomic.Uint64
+	scaleDowns atomic.Uint64
+	closed     atomic.Bool
+}
+
+// New validates cfg and returns a controller, not yet running.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Collector == nil || cfg.Policy == nil || cfg.Actuator == nil {
+		return nil, errors.New("autoscale: a controller needs a collector, a policy and an actuator")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 250 * time.Millisecond
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Start launches the control loop; it is a no-op while already running or
+// after Close.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.running || c.closed.Load() {
+		return
+	}
+	c.running = true
+	c.stopCh = make(chan struct{})
+	c.wg.Add(1)
+	go c.loop(c.stopCh)
+}
+
+// Stop halts the control loop, leaving the tier at whatever size it
+// reached — spawned replicas keep serving. Idempotent; Start may follow.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.running {
+		c.mu.Unlock()
+		return
+	}
+	c.running = false
+	close(c.stopCh)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Close stops the loop and drains everything the actuator spawned (when
+// it supports that), returning the tier to its seed membership.
+func (c *Controller) Close() error {
+	c.Stop()
+	if c.closed.Swap(true) {
+		return nil
+	}
+	if closer, ok := c.cfg.Actuator.(io.Closer); ok {
+		return closer.Close()
+	}
+	return nil
+}
+
+func (c *Controller) loop(stop <-chan struct{}) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-ticker.C:
+			// Actuation errors (a spawner hiccup, a drain refusal) are not
+			// fatal to the loop: the next tick re-collects and re-decides
+			// from actual state.
+			_ = c.Step(context.Background(), now)
+		}
+	}
+}
+
+// Step runs one Collect → Decide → Actuate round at the given time.
+func (c *Controller) Step(ctx context.Context, now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.cfg.Collector.Collect()
+	c.observe(m.Replicas)
+	target := c.cfg.Policy.Decide(m, now)
+	if target == m.Replicas || target < 1 {
+		return nil
+	}
+	reached, err := c.cfg.Actuator.ScaleTo(ctx, target)
+	c.observe(reached)
+	if reached > m.Replicas {
+		c.scaleUps.Add(1)
+	} else if reached < m.Replicas {
+		c.scaleDowns.Add(1)
+	}
+	if err != nil {
+		return fmt.Errorf("autoscale %s: scaling %d → %d: %w", c.cfg.Name, m.Replicas, target, err)
+	}
+	return nil
+}
+
+func (c *Controller) observe(n int) {
+	c.replicas.Store(int64(n))
+	for {
+		high := c.highWater.Load()
+		if int64(n) <= high || c.highWater.CompareAndSwap(high, int64(n)) {
+			return
+		}
+	}
+}
+
+// Status snapshots the controller's counters.
+func (c *Controller) Status() Status {
+	return Status{
+		Name:       c.cfg.Name,
+		Replicas:   int(c.replicas.Load()),
+		HighWater:  int(c.highWater.Load()),
+		ScaleUps:   c.scaleUps.Load(),
+		ScaleDowns: c.scaleDowns.Load(),
+	}
+}

@@ -1,0 +1,93 @@
+package autoscale
+
+import (
+	"math"
+	"time"
+)
+
+// Policy is the Decide stage: one load sample in, desired replica count
+// out. Returning the current count (or anything < 1) means "hold".
+// Implementations carry their own state (cooldown clocks, hysteresis) and
+// are called from a single goroutine.
+type Policy interface {
+	Decide(m Metrics, now time.Time) int
+}
+
+// TargetUtilization scales to hold per-replica in-flight load near a
+// target, with a hysteresis band so noise inside ±Tolerance never moves
+// the tier, and separate up/down cooldowns so a flapping input cannot
+// produce a flapping output. Scale-up jumps straight to the replica count
+// the observed load wants (a spike is served now, not after N intervals);
+// scale-down steps one replica at a time (draining is cheap to retry,
+// over-draining during a lull is not).
+type TargetUtilization struct {
+	// TargetInFlight is the per-replica in-flight load the tier should
+	// run at. Required, > 0.
+	TargetInFlight float64
+	// Tolerance is the hysteresis half-width as a fraction of the target
+	// (default 0.2): no decision while per-replica load sits inside
+	// [Target·(1−Tol), Target·(1+Tol)].
+	Tolerance float64
+	// Min and Max bound the decided replica count. Min defaults to 1;
+	// Max ≤ 0 means unbounded.
+	Min, Max int
+	// UpCooldown and DownCooldown are the minimum gaps after a scale-up
+	// (resp. scale-down) decision before the next decision in the same
+	// direction. A scale-up also resets the down clock — a tier that just
+	// grew must prove itself idle for a full DownCooldown before
+	// shrinking.
+	UpCooldown, DownCooldown time.Duration
+
+	lastUp, lastDown time.Time
+}
+
+// Decide implements Policy.
+func (p *TargetUtilization) Decide(m Metrics, now time.Time) int {
+	if p.TargetInFlight <= 0 || m.Replicas < 1 {
+		return m.Replicas
+	}
+	tol := p.Tolerance
+	if tol <= 0 {
+		tol = 0.2
+	}
+	min := p.Min
+	if min < 1 {
+		min = 1
+	}
+	perReplica := float64(m.InFlight) / float64(m.Replicas)
+	switch {
+	case perReplica > p.TargetInFlight*(1+tol):
+		if !p.lastUp.IsZero() && now.Sub(p.lastUp) < p.UpCooldown {
+			return m.Replicas
+		}
+		want := int(math.Ceil(float64(m.InFlight) / p.TargetInFlight))
+		want = p.clamp(want, min)
+		if want <= m.Replicas {
+			return m.Replicas
+		}
+		p.lastUp = now
+		p.lastDown = now // a fresh scale-up re-arms the drain clock
+		return want
+	case perReplica < p.TargetInFlight*(1-tol):
+		if m.Replicas <= min {
+			return m.Replicas
+		}
+		if !p.lastDown.IsZero() && now.Sub(p.lastDown) < p.DownCooldown {
+			return m.Replicas
+		}
+		p.lastDown = now
+		return p.clamp(m.Replicas-1, min)
+	default:
+		return m.Replicas
+	}
+}
+
+func (p *TargetUtilization) clamp(n, min int) int {
+	if n < min {
+		n = min
+	}
+	if p.Max > 0 && n > p.Max {
+		n = p.Max
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+package autoscale
+
+import (
+	"testing"
+	"time"
+)
+
+// tick is the simulated control-loop cadence the policy tests step time
+// with.
+const tick = 100 * time.Millisecond
+
+// decideStep is one simulated control round: the observed load, how far
+// into the run it happens, and the replica count the policy must answer.
+type decideStep struct {
+	at       time.Duration
+	replicas int
+	inFlight int
+	want     int
+}
+
+func TestTargetUtilizationDecide(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	cases := []struct {
+		name   string
+		policy TargetUtilization
+		steps  []decideStep
+	}{
+		{
+			// Inside the ±20% hysteresis band nothing moves, in either
+			// direction of the target.
+			name:   "hysteresis holds inside the band",
+			policy: TargetUtilization{TargetInFlight: 10, Max: 8},
+			steps: []decideStep{
+				{at: 0, replicas: 2, inFlight: 20, want: 2},        // exactly on target
+				{at: tick, replicas: 2, inFlight: 23, want: 2},     // +15%, inside band
+				{at: 2 * tick, replicas: 2, inFlight: 17, want: 2}, // −15%, inside band
+				{at: 3 * tick, replicas: 2, inFlight: 24, want: 2}, // +20% is the edge, not beyond it
+				{at: 4 * tick, replicas: 2, inFlight: 25, want: 3}, // +25% finally moves it
+				{at: 5 * tick, replicas: 3, inFlight: 30, want: 3}, // back on target after growing
+				{at: 6 * tick, replicas: 3, inFlight: 0, want: 2},  // idle: one step down
+			},
+		},
+		{
+			// A spike scales straight to the count the load wants, not one
+			// replica per round.
+			name:   "scale-up jumps to demand",
+			policy: TargetUtilization{TargetInFlight: 2, Max: 10},
+			steps: []decideStep{
+				{at: 0, replicas: 1, inFlight: 8, want: 4},
+			},
+		},
+		{
+			// Max clamps demand, Min floors the drain.
+			name:   "min and max clamp",
+			policy: TargetUtilization{TargetInFlight: 2, Min: 2, Max: 4, DownCooldown: tick / 2},
+			steps: []decideStep{
+				{at: 0, replicas: 2, inFlight: 40, want: 4},       // demand says 20, Max says 4
+				{at: tick, replicas: 4, inFlight: 0, want: 3},     // drain begins
+				{at: 2 * tick, replicas: 3, inFlight: 0, want: 2}, // one step at a time
+				{at: 3 * tick, replicas: 2, inFlight: 0, want: 2}, // Min is the floor
+			},
+		},
+		{
+			// Consecutive scale-ups are gated by UpCooldown.
+			name:   "up cooldown",
+			policy: TargetUtilization{TargetInFlight: 2, Max: 10, UpCooldown: 3 * tick},
+			steps: []decideStep{
+				{at: 0, replicas: 1, inFlight: 6, want: 3},
+				{at: tick, replicas: 3, inFlight: 18, want: 3},     // wants 9, cooling down
+				{at: 2 * tick, replicas: 3, inFlight: 18, want: 3}, // still cooling
+				{at: 3 * tick, replicas: 3, inFlight: 18, want: 9}, // cooldown over
+			},
+		},
+		{
+			// Consecutive scale-downs are gated by DownCooldown, and a
+			// scale-up re-arms it: a tier that just grew must stay idle a
+			// full DownCooldown before shrinking.
+			name:   "down cooldown and re-arm",
+			policy: TargetUtilization{TargetInFlight: 4, Max: 10, DownCooldown: 4 * tick},
+			steps: []decideStep{
+				{at: 0, replicas: 1, inFlight: 12, want: 3},       // up; arms the down clock at t=0
+				{at: tick, replicas: 3, inFlight: 0, want: 3},     // idle but cooling down
+				{at: 3 * tick, replicas: 3, inFlight: 0, want: 3}, // still cooling
+				{at: 4 * tick, replicas: 3, inFlight: 0, want: 2}, // first step down
+				{at: 5 * tick, replicas: 2, inFlight: 0, want: 2}, // cooling again
+				{at: 8 * tick, replicas: 2, inFlight: 0, want: 1}, // second step down
+			},
+		},
+		{
+			// A flapping input — load oscillating across the band every
+			// round — must not produce a flapping output: cooldowns hold the
+			// tier at its scaled size through the oscillation.
+			name:   "flapping input no flapping output",
+			policy: TargetUtilization{TargetInFlight: 2, Max: 10, UpCooldown: 10 * tick, DownCooldown: 10 * tick},
+			steps: []decideStep{
+				{at: 0, replicas: 2, inFlight: 12, want: 6},        // the one real decision
+				{at: tick, replicas: 6, inFlight: 0, want: 6},      // idle half-cycle: down blocked
+				{at: 2 * tick, replicas: 6, inFlight: 36, want: 6}, // loaded half-cycle: up blocked
+				{at: 3 * tick, replicas: 6, inFlight: 0, want: 6},
+				{at: 4 * tick, replicas: 6, inFlight: 36, want: 6},
+				{at: 5 * tick, replicas: 6, inFlight: 0, want: 6},
+				{at: 6 * tick, replicas: 6, inFlight: 36, want: 6},
+			},
+		},
+		{
+			// Degenerate inputs hold instead of deciding garbage.
+			name:   "degenerate inputs hold",
+			policy: TargetUtilization{TargetInFlight: 2},
+			steps: []decideStep{
+				{at: 0, replicas: 0, inFlight: 5, want: 0}, // empty tier: nothing to scale
+			},
+		},
+		{
+			// An unset target disables the policy entirely.
+			name:   "unset target holds",
+			policy: TargetUtilization{},
+			steps: []decideStep{
+				{at: 0, replicas: 2, inFlight: 1000, want: 2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.policy
+			for i, stp := range tc.steps {
+				got := p.Decide(Metrics{Replicas: stp.replicas, InFlight: stp.inFlight}, base.Add(stp.at))
+				if got != stp.want {
+					t.Fatalf("step %d (t=%v, %d in flight over %d replicas): decided %d, want %d",
+						i, stp.at, stp.inFlight, stp.replicas, got, stp.want)
+				}
+			}
+		})
+	}
+}
+
+// TestTargetUtilizationSteadyNoDecisions is the policy-level face of the
+// no-op-determinism invariant: a long steady run at target produces zero
+// decisions.
+func TestTargetUtilizationSteadyNoDecisions(t *testing.T) {
+	p := TargetUtilization{TargetInFlight: 8, Max: 10}
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 1000; i++ {
+		if got := p.Decide(Metrics{Replicas: 4, InFlight: 32}, now); got != 4 {
+			t.Fatalf("round %d: steady load decided %d, want hold at 4", i, got)
+		}
+		now = now.Add(tick)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autoscale"
 	"repro/internal/hec"
 	"repro/internal/parallel"
 	"repro/internal/workload"
@@ -49,6 +50,11 @@ type FleetConfig struct {
 	BaseInterval time.Duration
 	// Scenario, if set, scripts fault injection against the run.
 	Scenario *Scenario
+	// Autoscalers are elastic-tier control loops scoped to this run:
+	// RunFleet starts each before traffic flows and stops its loop when the
+	// run ends (spawned replicas keep serving until the controller's Close
+	// drains them), folding each final Status into FleetStats.Scale.
+	Autoscalers []*autoscale.Controller
 }
 
 // FleetStats is a fleet run's result: one Stats per cohort (or per scheme
@@ -57,6 +63,9 @@ type FleetConfig struct {
 type FleetStats struct {
 	Cohorts []*Stats
 	Total   *Stats
+	// Scale holds one status per FleetConfig autoscaler, snapshotted as
+	// the run ended.
+	Scale []autoscale.Status
 }
 
 // Report renders the per-cohort lines, the fleet total, and the tier
@@ -73,6 +82,10 @@ func (fs *FleetStats) Report() string {
 	}
 	for _, t := range fs.Total.Tiers {
 		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, sc := range fs.Scale {
+		b.WriteString(sc.String())
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -110,6 +123,7 @@ type fleetRun struct {
 	seed       int64
 	base       time.Duration
 	scenario   *Scenario
+	ctls       []*autoscale.Controller
 }
 
 // RunFleet runs a heterogeneous fleet (or replays a trace) through dev
@@ -125,6 +139,7 @@ func RunFleet(ctx context.Context, dev *Device, samples []hec.Sample, cfg FleetC
 		seed:     cfg.Seed,
 		base:     cfg.BaseInterval,
 		scenario: cfg.Scenario,
+		ctls:     cfg.Autoscalers,
 	}
 	if cfg.Trace != nil {
 		if err := cfg.Trace.Validate(); err != nil {
@@ -200,6 +215,9 @@ func runFleet(ctx context.Context, dev *Device, samples []hec.Sample, fr fleetRu
 	if fr.scenario != nil {
 		runner = fr.scenario.start(start, &windows)
 	}
+	for _, ctl := range fr.ctls {
+		ctl.Start()
+	}
 
 	// One goroutine per device, across every cohort (or every recorded
 	// device), so cohorts genuinely contend for the serving plane.
@@ -236,6 +254,11 @@ func runFleet(ctx context.Context, dev *Device, samples []hec.Sample, fr fleetRu
 	var scErr error
 	if runner != nil {
 		scErr = runner.stop()
+	}
+	// Stop only the loops: spawned replicas keep serving (and keep their
+	// counters) until the owning controller's Close drains them.
+	for _, ctl := range fr.ctls {
+		ctl.Stop()
 	}
 	if err != nil {
 		return nil, err
@@ -306,6 +329,9 @@ func runFleet(ctx context.Context, dev *Device, samples []hec.Sample, fr fleetRu
 		}
 	}
 	fs.Total.Tiers = tierDeltas(tiersBefore, TierStatuses(dev))
+	for _, ctl := range fr.ctls {
+		fs.Scale = append(fs.Scale, ctl.Status())
+	}
 	return fs, nil
 }
 

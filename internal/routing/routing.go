@@ -18,6 +18,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,12 +68,28 @@ type Config struct {
 	HealthInterval time.Duration
 	// HealthTimeout bounds one health probe end to end, any redial
 	// included (default 2 s). A probe that overruns it counts as down.
+	// Add's synchronous dial is bounded by the same budget.
 	HealthTimeout time.Duration
+	// Resolver, if set, is the set's external membership source: it is
+	// polled once per HealthInterval tick (so it needs HealthInterval > 0
+	// to have any effect) and the membership is reconciled to exactly the
+	// addresses it returns, via the same Add/Remove path a caller would
+	// use. Reconciliation is best-effort per tick — an undialable new
+	// address is retried on the next tick.
+	Resolver func() []string
+	// DrainTimeout bounds how long Remove waits for a draining replica's
+	// in-flight requests before force-closing its pool (default 30 s).
+	DrainTimeout time.Duration
 }
 
 // DefaultRetries is the retry budget when Config.Retries is unset: two
 // failovers, so a request survives losing two replicas mid-flight.
 const DefaultRetries = 2
+
+// svcWindow is how many recent service times a replica's rolling
+// latency window keeps — enough for a stable p99 without unbounded
+// memory on a long-lived set.
+const svcWindow = 128
 
 // replica is one member of the set.
 type replica struct {
@@ -84,11 +102,53 @@ type replica struct {
 
 	healthy  atomic.Bool
 	probing  atomic.Bool // a health probe (possibly a slow redial) is running
+	removed  atomic.Bool // Remove took it out of the rotation; no new work, no churn counting
 	inflight atomic.Int64
 	requests atomic.Uint64
 	failures atomic.Uint64
 	expels   atomic.Uint64
 	readmits atomic.Uint64
+
+	// Rolling window of the last svcWindow successful request durations
+	// (client-observed wall clock, ms) — the per-replica load signal an
+	// autoscaler's collector scrapes alongside the in-flight count.
+	svcMu sync.Mutex
+	svc   [svcWindow]float64
+	svcN  uint64 // total recorded; ring index is svcN % svcWindow
+}
+
+// recordService folds one successful request's duration into the rolling
+// latency window.
+func (r *replica) recordService(ms float64) {
+	r.svcMu.Lock()
+	r.svc[r.svcN%svcWindow] = ms
+	r.svcN++
+	r.svcMu.Unlock()
+}
+
+// servicePercentiles returns the rolling p50 and p99 service time, or
+// zeros before the first completed request.
+func (r *replica) servicePercentiles() (p50, p99 float64) {
+	r.svcMu.Lock()
+	n := int(r.svcN)
+	if n > svcWindow {
+		n = svcWindow
+	}
+	vals := make([]float64, n)
+	copy(vals, r.svc[:n])
+	r.svcMu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(vals)
+	rank := func(p float64) float64 {
+		idx := int(math.Ceil(p/100*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return vals[idx]
+	}
+	return rank(50), rank(99)
 }
 
 // markHealthy records the replica as answering, counting the transition
@@ -169,11 +229,22 @@ func (r *replica) closePool() {
 // cluster runtime's Remote and BatchRemote interfaces, so a Device (or a
 // Session) pointed at a ReplicaSet gets failover and load-aware routing
 // without knowing either exists. Safe for concurrent use.
+//
+// Membership is dynamic: Add and Remove grow and shrink the set while
+// requests are in flight (Remove drains — new work stops routing there,
+// in-flight requests finish, then the pool closes), and Resolve reconciles
+// the membership declaratively, so tiers scale without sessions reopening.
 type ReplicaSet struct {
 	cfg      Config
 	policy   Policy
 	retries  int
 	poolSize int
+
+	// memMu guards the membership slice, which is copy-on-write: Add,
+	// Remove and Resolve install a fresh slice, so the snapshot members()
+	// hands a request stays valid (and index-stable) for that request's
+	// whole failover loop no matter how membership churns underneath.
+	memMu    sync.RWMutex
 	replicas []*replica
 
 	total  atomic.Int64 // in-flight across the whole set, for admission
@@ -181,6 +252,14 @@ type ReplicaSet struct {
 	closed atomic.Bool
 	stop   chan struct{}
 	wg     sync.WaitGroup
+}
+
+// members snapshots the current membership. The returned slice is
+// immutable — membership ops replace it rather than mutate it.
+func (s *ReplicaSet) members() []*replica {
+	s.memMu.RLock()
+	defer s.memMu.RUnlock()
+	return s.replicas
 }
 
 // New dials a replica set. At least one replica must be reachable;
@@ -257,7 +336,9 @@ func New(cfg Config) (*ReplicaSet, error) {
 // healthLoop periodically probes every replica with the transport ping,
 // reviving members that recovered and expelling ones that stopped
 // answering — so routing converges on the live membership even when no
-// request happens to touch a broken replica.
+// request happens to touch a broken replica. When a Resolver is
+// configured, each tick first reconciles the membership to the resolver's
+// address list, then probes what remains.
 func (s *ReplicaSet) healthLoop() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.HealthInterval)
@@ -267,6 +348,11 @@ func (s *ReplicaSet) healthLoop() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
+			if f := s.cfg.Resolver; f != nil {
+				// Best-effort: a failed add or a refused remove is retried
+				// on the next tick; health probing must not stall on it.
+				_ = s.Resolve(f()...)
+			}
 			s.CheckHealth()
 		}
 	}
@@ -285,7 +371,7 @@ func (s *ReplicaSet) CheckHealth() {
 		timeout = 2 * time.Second
 	}
 	var wg sync.WaitGroup
-	for _, r := range s.replicas {
+	for _, r := range s.members() {
 		if !r.probing.CompareAndSwap(false, true) {
 			continue // the previous probe is still stuck in a slow dial
 		}
@@ -322,15 +408,19 @@ func (s *ReplicaSet) CheckHealth() {
 	wg.Wait()
 }
 
-// choose runs the routing policy over the usable candidates: healthy
-// replicas not yet tried this request, then healthy ones, then untried
-// ones, then everyone — a request only gives up when the budget does.
-// Returns the chosen replica's index.
-func (s *ReplicaSet) choose(tried []bool) int {
-	idx := make([]int, 0, len(s.replicas))
+// choose runs the routing policy over the usable candidates from reps
+// (the request's membership snapshot): healthy replicas not yet tried
+// this request, then healthy ones, then untried ones, then everyone — a
+// request only gives up when the budget does. Returns the chosen
+// replica's index within reps.
+func (s *ReplicaSet) choose(reps []*replica, tried []bool) int {
+	idx := make([]int, 0, len(reps))
 	pick := func(healthyOnly, skipTried bool) []int {
 		idx = idx[:0]
-		for i, r := range s.replicas {
+		for i, r := range reps {
+			if r.removed.Load() {
+				continue // drained out from under the snapshot
+			}
 			if healthyOnly && !r.healthy.Load() {
 				continue
 			}
@@ -351,9 +441,14 @@ func (s *ReplicaSet) choose(tried []bool) int {
 	if len(candidates) == 0 {
 		candidates = pick(false, false)
 	}
+	if len(candidates) == 0 {
+		// Every snapshot member was removed mid-request; the caller's next
+		// attempt (or the error path) handles it.
+		return -1
+	}
 	inflight := make([]int, len(candidates))
 	for k, i := range candidates {
-		inflight[k] = int(s.replicas[i].inflight.Load())
+		inflight[k] = int(reps[i].inflight.Load())
 	}
 	k := s.policy.Pick(inflight)
 	if k < 0 || k >= len(candidates) {
@@ -396,8 +491,12 @@ func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) e
 	}
 	defer s.total.Add(-1)
 
+	// The request works over a membership snapshot: replicas added after
+	// this point serve later requests, replicas removed mid-request are
+	// skipped by choose via their removed flag.
+	reps := s.members()
 	attempts := s.retries + 1
-	tried := make([]bool, len(s.replicas))
+	tried := make([]bool, len(reps))
 	var lastErr error
 	for a := 0; a < attempts; a++ {
 		if err := ctx.Err(); err != nil {
@@ -409,11 +508,27 @@ func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) e
 			}
 			return err
 		}
-		i := s.choose(tried)
+		i := s.choose(reps, tried)
+		if i < 0 {
+			// The whole snapshot drained away mid-request; retry over the
+			// current membership.
+			reps = s.members()
+			tried = make([]bool, len(reps))
+			if i = s.choose(reps, tried); i < 0 {
+				lastErr = fmt.Errorf("routing: no replica in rotation (%w)", transport.ErrRemote)
+				continue
+			}
+		}
 		tried[i] = true
-		r := s.replicas[i]
+		r := reps[i]
 		pool, err := r.ensurePool(ctx, s.cfg.Dial, s.poolSize)
 		if err != nil {
+			if r.removed.Load() {
+				// Lost the race with Remove: not a health event, just a
+				// stale snapshot — fail over without counting churn.
+				lastErr = fmt.Errorf("routing: replica %s left the set: %w", r.addr, err)
+				continue
+			}
 			r.markUnhealthy()
 			r.failures.Add(1)
 			lastErr = fmt.Errorf("routing: replica %s: %w", r.addr, err)
@@ -421,17 +536,22 @@ func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) e
 		}
 		r.requests.Add(1)
 		r.inflight.Add(1)
+		began := time.Now()
 		err = call(pool)
+		elapsed := time.Since(began)
 		r.inflight.Add(-1)
 		if err == nil {
+			r.recordService(float64(elapsed) / float64(time.Millisecond))
 			r.markHealthy()
 			return nil
 		}
 		r.failures.Add(1)
 		lastErr = fmt.Errorf("routing: replica %s: %w", r.addr, err)
-		if errors.Is(err, transport.ErrConn) {
+		if errors.Is(err, transport.ErrConn) && !r.removed.Load() {
 			// The connection died — this replica is gone until a probe or a
-			// successful attempt proves otherwise.
+			// successful attempt proves otherwise. (A replica being drained
+			// by Remove is exempt: its pool closing is membership, not
+			// failure.)
 			r.markUnhealthy()
 		}
 		if !retryable(ctx, err) {
@@ -493,6 +613,143 @@ func (s *ReplicaSet) PolicyName() string { return s.policy.Name() }
 // Shed returns how many requests admission control has refused.
 func (s *ReplicaSet) Shed() uint64 { return s.shed.Load() }
 
+// Size returns the current number of replicas in the rotation.
+func (s *ReplicaSet) Size() int { return len(s.members()) }
+
+// Addrs returns the current membership's addresses, in rotation order.
+func (s *ReplicaSet) Addrs() []string {
+	reps := s.members()
+	out := make([]string, len(reps))
+	for i, r := range reps {
+		out[i] = r.addr
+	}
+	return out
+}
+
+// Add dials addr and admits it to the rotation. The dial is synchronous
+// and bounded by HealthTimeout, so a successfully added replica starts
+// receiving traffic immediately — the very next request can route to it.
+// An undialable address is not added (retry once the replica is up, or
+// let a Resolver tick do it). Joining is membership, not recovery: Add
+// does not count a readmission, mirroring New's initial dials.
+func (s *ReplicaSet) Add(addr string) error {
+	if s.closed.Load() {
+		return fmt.Errorf("routing: replica set is closed (%w)", transport.ErrRemote)
+	}
+	timeout := s.cfg.HealthTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	r := &replica{addr: addr}
+	pool, err := transport.DialPoolContext(ctx, addr, s.cfg.Dial, s.poolSize)
+	if err != nil {
+		return fmt.Errorf("routing: add replica %s: %w", addr, err)
+	}
+	r.pool = pool
+	r.healthy.Store(true)
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	if s.closed.Load() {
+		pool.Close()
+		return fmt.Errorf("routing: replica set is closed (%w)", transport.ErrRemote)
+	}
+	for _, m := range s.replicas {
+		if m.addr == addr {
+			pool.Close()
+			return fmt.Errorf("routing: replica %s is already a member", addr)
+		}
+	}
+	next := make([]*replica, len(s.replicas)+1)
+	copy(next, s.replicas)
+	next[len(s.replicas)] = r
+	s.replicas = next
+	return nil
+}
+
+// Remove takes addr out of the rotation with drain semantics: new work
+// stops routing to it immediately, its in-flight requests are given up to
+// DrainTimeout to finish, and only then is its connection pool closed.
+// Returns once the drain completes (or reports a forced close when the
+// budget expires). Removing the last replica is refused — a tier cannot
+// scale to zero while sessions hold it. Leaving is membership, not
+// failure: Remove counts no expulsion.
+func (s *ReplicaSet) Remove(addr string) error {
+	s.memMu.Lock()
+	idx := -1
+	for i, m := range s.replicas {
+		if m.addr == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.memMu.Unlock()
+		return fmt.Errorf("routing: replica %s is not a member", addr)
+	}
+	if len(s.replicas) == 1 {
+		s.memMu.Unlock()
+		return fmt.Errorf("routing: refusing to remove %s, the last replica", addr)
+	}
+	r := s.replicas[idx]
+	next := make([]*replica, 0, len(s.replicas)-1)
+	next = append(next, s.replicas[:idx]...)
+	next = append(next, s.replicas[idx+1:]...)
+	s.replicas = next
+	s.memMu.Unlock()
+
+	r.removed.Store(true)
+	timeout := s.cfg.DrainTimeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for r.inflight.Load() > 0 {
+		if time.Now().After(deadline) || s.closed.Load() {
+			r.closePool()
+			return fmt.Errorf("routing: replica %s force-closed with %d request(s) still in flight after %v drain budget",
+				addr, r.inflight.Load(), timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.closePool()
+	return nil
+}
+
+// Resolve reconciles the membership to exactly addrs: missing addresses
+// are added, extra members are drained and removed, survivors keep their
+// rotation order and counters. Errors (an undialable new address, a
+// refused last-replica removal) are joined and returned, but
+// reconciliation continues past them — the next Resolve converges
+// further. This is the callback surface an external control plane (an
+// autoscaler's actuator, a service-discovery watcher via Config.Resolver)
+// drives membership through without sessions reopening.
+func (s *ReplicaSet) Resolve(addrs ...string) error {
+	want := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		want[a] = true
+	}
+	have := make(map[string]bool)
+	var errs []error
+	for _, a := range s.Addrs() {
+		have[a] = true
+		if !want[a] {
+			if err := s.Remove(a); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	for _, a := range addrs {
+		if !have[a] {
+			if err := s.Add(a); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // ReplicaStatus is one replica's observable state.
 type ReplicaStatus struct {
 	Addr string
@@ -512,12 +769,21 @@ type ReplicaStatus struct {
 	// EvictedConns is how many broken connections the replica's pool has
 	// replaced.
 	EvictedConns uint64
+	// ServiceP50Ms and ServiceP99Ms are rolling percentiles over the
+	// replica's last 128 successful request durations (client-observed
+	// wall clock, injected link delay included) — zero before the first
+	// completed request. Together with InFlight they are the load signals
+	// an autoscaler's collector scrapes.
+	ServiceP50Ms, ServiceP99Ms float64
 }
 
-// Status snapshots every replica, in Config.Addrs order.
+// Status snapshots every replica currently in the rotation, in membership
+// order (initial Config.Addrs order, later Adds appended; removed
+// replicas no longer appear).
 func (s *ReplicaSet) Status() []ReplicaStatus {
-	out := make([]ReplicaStatus, len(s.replicas))
-	for i, r := range s.replicas {
+	reps := s.members()
+	out := make([]ReplicaStatus, len(reps))
+	for i, r := range reps {
 		st := ReplicaStatus{
 			Addr:     r.addr,
 			Healthy:  r.healthy.Load(),
@@ -527,6 +793,7 @@ func (s *ReplicaSet) Status() []ReplicaStatus {
 			Expels:   r.expels.Load(),
 			Readmits: r.readmits.Load(),
 		}
+		st.ServiceP50Ms, st.ServiceP99Ms = r.servicePercentiles()
 		r.mu.Lock()
 		if r.pool != nil {
 			st.EvictedConns = r.pool.Evicted()
@@ -545,7 +812,7 @@ func (s *ReplicaSet) Close() error {
 	}
 	close(s.stop)
 	s.wg.Wait()
-	for _, r := range s.replicas {
+	for _, r := range s.members() {
 		r.closePool()
 	}
 	return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/anomaly"
+	"repro/internal/autoscale"
 	"repro/internal/cluster"
 	"repro/internal/hec"
 	"repro/internal/routing"
@@ -106,6 +107,7 @@ type sessionConfig struct {
 	noRetries     bool
 	maxInFlight   int
 	healthEvery   time.Duration
+	autoscale     [hec.NumLayers]*AutoscaleConfig
 	err           error
 }
 
@@ -283,6 +285,82 @@ func WithPoolSize(n int) SessionOption {
 	return func(c *sessionConfig) { c.poolSize = n }
 }
 
+// Spawner provisions one more replica for an autoscaled tier: it returns
+// the new replica's address and a stop function invoked after the tier
+// has drained it. autoscale.ServeSpawner (in-process transport.Servers)
+// and autoscale.ExecSpawner (hecnode child processes) are the built-ins.
+type Spawner = autoscale.Spawner
+
+// SpawnerFunc adapts a function to the Spawner interface.
+type SpawnerFunc = autoscale.SpawnFunc
+
+// AutoscaleStatus re-exports a controller's observable state: current and
+// high-water replica counts plus actuated scale-up/scale-down totals.
+type AutoscaleStatus = autoscale.Status
+
+// AutoscaleConfig parameterises WithAutoscale — the target-utilization
+// policy plus the spawner that provisions replicas.
+type AutoscaleConfig struct {
+	// Spawner provisions additional replicas. Required.
+	Spawner Spawner
+	// TargetInFlight is the per-replica in-flight load the controller
+	// holds the tier at. Required, > 0.
+	TargetInFlight float64
+	// Tolerance is the hysteresis half-width as a fraction of the target
+	// (default 0.2): load inside the band never moves the tier.
+	Tolerance float64
+	// Min and Max bound the replica count (Min defaults to the seed
+	// membership size; Max ≤ 0 means unbounded).
+	Min, Max int
+	// UpCooldown and DownCooldown gate consecutive scale decisions in the
+	// same direction; a scale-up also re-arms the down clock.
+	UpCooldown, DownCooldown time.Duration
+	// Interval is the control-loop cadence (default 250 ms).
+	Interval time.Duration
+}
+
+// WithAutoscale puts the layer's replica set under an autoscaling control
+// loop: a Collect → Decide → Actuate cycle that grows the tier through
+// cfg.Spawner when per-replica in-flight load runs above target and
+// drain-aware-shrinks it back (in-flight work finishes before a replica's
+// pool closes) when load falls, within [Min, Max] and the cooldowns. The
+// layer must also be configured with WithRemoteAddrs — the seed
+// membership is the floor the controller never drains below. The session
+// owns the controller: Close stops the loop and drains every spawned
+// replica.
+func WithAutoscale(layer Layer, cfg AutoscaleConfig) SessionOption {
+	return func(c *sessionConfig) {
+		if cfg.Spawner == nil {
+			if c.err == nil {
+				c.err = badInput("open session", "autoscale for layer %v needs a spawner", layer)
+			}
+			return
+		}
+		if cfg.TargetInFlight <= 0 {
+			if c.err == nil {
+				c.err = badInput("open session", "autoscale target in-flight %v must be > 0", cfg.TargetInFlight)
+			}
+			return
+		}
+		if cfg.Max > 0 && cfg.Min > cfg.Max {
+			if c.err == nil {
+				c.err = badInput("open session", "autoscale bounds min %d > max %d", cfg.Min, cfg.Max)
+			}
+			return
+		}
+		if cfg.UpCooldown < 0 || cfg.DownCooldown < 0 || cfg.Interval < 0 {
+			if c.err == nil {
+				c.err = badInput("open session", "negative autoscale duration")
+			}
+			return
+		}
+		if c.remoteLayer(layer) {
+			cp := cfg
+			c.autoscale[layer] = &cp
+		}
+	}
+}
+
 // Detection is one judged window as seen by a Session caller.
 type Detection struct {
 	// Anomaly reports whether the window was flagged anomalous.
@@ -317,6 +395,7 @@ type Session struct {
 
 	mu     sync.Mutex
 	owned  []io.Closer
+	ctls   []*autoscale.Controller
 	closed bool
 }
 
@@ -342,6 +421,12 @@ func (s *System) Open(scheme Scheme, opts ...SessionOption) (*Session, error) {
 	}
 	if cfg.poolSize < 1 {
 		return nil, badInput("open session", "pool size %d < 1", cfg.poolSize)
+	}
+	for l := hec.LayerEdge; l < hec.NumLayers; l++ {
+		if cfg.autoscale[l] != nil && len(cfg.replicaAddrs[l]) == 0 {
+			return nil, badInput("open session",
+				"autoscale for layer %v needs a WithRemoteAddrs replica set to scale", l)
+		}
 	}
 
 	localDet := s.Deployment.Detectors[hec.LayerIoT]
@@ -379,6 +464,36 @@ func (s *System) Open(scheme Scheme, opts ...SessionOption) (*Session, error) {
 				return nil, wrapErr("open session", err)
 			}
 			sess.dev.Remotes[l] = set
+			if ac := cfg.autoscale[l]; ac != nil {
+				min := ac.Min
+				if min < 1 {
+					min = len(cfg.replicaAddrs[l])
+				}
+				ctl, err := autoscale.New(autoscale.Config{
+					Name:      l.String(),
+					Collector: autoscale.CollectSet(set),
+					Policy: &autoscale.TargetUtilization{
+						TargetInFlight: ac.TargetInFlight,
+						Tolerance:      ac.Tolerance,
+						Min:            min,
+						Max:            ac.Max,
+						UpCooldown:     ac.UpCooldown,
+						DownCooldown:   ac.DownCooldown,
+					},
+					Actuator: autoscale.NewSetActuator(set, ac.Spawner),
+					Interval: ac.Interval,
+				})
+				if err != nil {
+					set.Close()
+					sess.Close()
+					return nil, wrapErr("open session", err)
+				}
+				// The controller closes before the set: Close must still be
+				// able to drain spawned replicas through the live membership.
+				sess.owned = append(sess.owned, ctl)
+				sess.ctls = append(sess.ctls, ctl)
+				ctl.Start()
+			}
 			sess.owned = append(sess.owned, set)
 		case cfg.addrs[l] != "":
 			pool, err := transport.DialPool(cfg.addrs[l], cfg.delays[l], cfg.poolSize)
@@ -416,6 +531,22 @@ func (s *Session) TierStatus() []TierStatus {
 		return nil
 	}
 	return cluster.TierStatuses(s.dev)
+}
+
+// AutoscaleStatus snapshots every WithAutoscale controller the session
+// runs: one entry per elastic tier, in layer order. Sessions opened
+// without WithAutoscale return nil.
+func (s *Session) AutoscaleStatus() []AutoscaleStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || len(s.ctls) == 0 {
+		return nil
+	}
+	out := make([]AutoscaleStatus, len(s.ctls))
+	for i, c := range s.ctls {
+		out[i] = c.Status()
+	}
+	return out
 }
 
 // Detect judges one window. Cancelling ctx (or passing one whose deadline
@@ -478,6 +609,7 @@ func (s *Session) Close() error {
 		}
 	}
 	s.owned = nil
+	s.ctls = nil
 	if first != nil {
 		return wrapErr("close session", first)
 	}

@@ -1,0 +1,212 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// tierSpawner provisions in-process replicas of a layer's deployed
+// detector, tracking the servers so the test can prove they were drained.
+type tierSpawner struct {
+	sys   *System
+	layer Layer
+
+	mu   sync.Mutex
+	srvs []*transport.Server
+}
+
+func (sp *tierSpawner) Spawn(ctx context.Context) (string, func() error, error) {
+	srv, err := transport.Serve("127.0.0.1:0", sp.sys.Deployment.Detectors[sp.layer], nil)
+	if err != nil {
+		return "", nil, err
+	}
+	sp.mu.Lock()
+	sp.srvs = append(sp.srvs, srv)
+	sp.mu.Unlock()
+	return srv.Addr(), srv.Close, nil
+}
+
+func (sp *tierSpawner) closeAll() {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	for _, srv := range sp.srvs {
+		srv.Close()
+	}
+	sp.srvs = nil
+}
+
+// TestSessionAutoscaleElasticTier is the public-API face of the elastic
+// fleet: a session whose cloud tier is one replica under WithAutoscale
+// absorbs a burst of concurrent traffic by growing the tier — visible in
+// AutoscaleStatus and in TierStatus's widened membership — without a
+// single dropped window, and Close drains everything leak-free.
+func TestSessionAutoscaleElasticTier(t *testing.T) {
+	sys := fastUniSystem(t)
+	baseline := runtime.NumGoroutine()
+	seed := startTier(t, sys, LayerCloud)
+	spawner := &tierSpawner{sys: sys, layer: LayerCloud}
+	defer spawner.closeAll()
+
+	sess, err := sys.Open(SchemeCloud,
+		WithRemoteAddrs(LayerCloud, seed.Addr()),
+		// 10 ms per direction holds requests in flight long enough for the
+		// collector to see real load.
+		WithLinkDelay(LayerCloud, 10*time.Millisecond),
+		WithAutoscale(LayerCloud, AutoscaleConfig{
+			Spawner:        spawner,
+			TargetInFlight: 1,
+			Max:            3,
+			Interval:       5 * time.Millisecond,
+			// Longer than the test: growth must be observable at the end.
+			DownCooldown: time.Minute,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frames := sys.TestSamples[0].Frames
+
+	const workers, perWorker = 8, 12
+	var (
+		wg      sync.WaitGroup
+		dropped atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := sess.Detect(context.Background(), frames); err != nil {
+					t.Errorf("detect under autoscale: %v", err)
+					dropped.Add(1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if dropped.Load() > 0 {
+		t.Fatalf("%d windows dropped while the tier scaled", dropped.Load())
+	}
+
+	scale := sess.AutoscaleStatus()
+	if len(scale) != 1 {
+		t.Fatalf("autoscale status = %+v, want one controller", scale)
+	}
+	if scale[0].HighWater < 2 {
+		t.Fatalf("burst never grew the tier: %+v", scale[0])
+	}
+	if scale[0].ScaleUps == 0 {
+		t.Fatalf("no scale-ups recorded: %+v", scale[0])
+	}
+	// The elastic membership is visible through the session's tier report:
+	// the cloud tier lists the grown replica set, every member healthy and
+	// carrying requests.
+	var found bool
+	for _, ts := range sess.TierStatus() {
+		if ts.Layer != LayerCloud {
+			continue
+		}
+		found = true
+		if len(ts.Replicas) != scale[0].Replicas {
+			t.Fatalf("tier status lists %d replicas, autoscaler says %d", len(ts.Replicas), scale[0].Replicas)
+		}
+		if len(ts.Replicas) < 2 {
+			t.Fatalf("tier status never widened: %+v", ts)
+		}
+		for _, r := range ts.Replicas {
+			if !r.Healthy {
+				t.Fatalf("scaled replica %s unhealthy: %+v", r.Addr, r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no cloud tier in TierStatus")
+	}
+
+	// Close drains every spawned replica (controller first, then the set)
+	// and the bracket proves nothing leaked.
+	if err := sess.Close(); err != nil {
+		t.Fatalf("closing elastic session: %v", err)
+	}
+	if got := sess.AutoscaleStatus(); got != nil {
+		t.Fatalf("closed session still reports autoscale status: %+v", got)
+	}
+	seed.Close()
+	spawner.closeAll()
+	waitForGoroutines(t, baseline)
+}
+
+// TestWithAutoscaleValidation pins the option's refusal surface: every
+// malformed config classifies as ErrBadInput at Open, never a silent
+// drop.
+func TestWithAutoscaleValidation(t *testing.T) {
+	sys := fastUniSystem(t)
+	srv := startTier(t, sys, LayerCloud)
+	sp := &tierSpawner{sys: sys, layer: LayerCloud}
+	ok := AutoscaleConfig{Spawner: sp, TargetInFlight: 1}
+
+	cases := []struct {
+		name string
+		opts []SessionOption
+	}{
+		{"nil spawner", []SessionOption{
+			WithRemoteAddrs(LayerCloud, srv.Addr()),
+			WithAutoscale(LayerCloud, AutoscaleConfig{TargetInFlight: 1}),
+		}},
+		{"zero target", []SessionOption{
+			WithRemoteAddrs(LayerCloud, srv.Addr()),
+			WithAutoscale(LayerCloud, AutoscaleConfig{Spawner: sp}),
+		}},
+		{"min above max", []SessionOption{
+			WithRemoteAddrs(LayerCloud, srv.Addr()),
+			WithAutoscale(LayerCloud, AutoscaleConfig{Spawner: sp, TargetInFlight: 1, Min: 5, Max: 2}),
+		}},
+		{"negative cooldown", []SessionOption{
+			WithRemoteAddrs(LayerCloud, srv.Addr()),
+			WithAutoscale(LayerCloud, AutoscaleConfig{Spawner: sp, TargetInFlight: 1, UpCooldown: -time.Second}),
+		}},
+		{"iot layer", []SessionOption{
+			WithAutoscale(LayerIoT, ok),
+		}},
+		{"no replica set to scale", []SessionOption{
+			WithAutoscale(LayerCloud, ok),
+		}},
+		{"single-address tier", []SessionOption{
+			WithRemoteAddr(LayerCloud, srv.Addr(), 0),
+			WithAutoscale(LayerCloud, ok),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sess, err := sys.Open(SchemeCloud, tc.opts...)
+			if err == nil {
+				sess.Close()
+				t.Fatal("malformed autoscale config accepted")
+			}
+			if !errors.Is(err, ErrBadInput) {
+				t.Fatalf("refusal not classified ErrBadInput: %v", err)
+			}
+		})
+	}
+
+	// The happy path still opens (and closes) cleanly.
+	sess, err := sys.Open(SchemeCloud,
+		WithRemoteAddrs(LayerCloud, srv.Addr()),
+		WithAutoscale(LayerCloud, ok),
+	)
+	if err != nil {
+		t.Fatalf("well-formed autoscale config refused: %v", err)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
