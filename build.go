@@ -4,6 +4,22 @@ import (
 	"context"
 
 	"repro/internal/hec"
+	"repro/internal/nn"
+)
+
+// QuantMode selects the precision tier the constrained-hardware models are
+// compressed to before deployment (see WithQuantMode).
+type QuantMode = nn.QuantMode
+
+// Re-exported quantization modes for callers importing only this package.
+const (
+	// QuantFP16 is the paper's compression step: IEEE binary16 weights,
+	// bit-identical verdicts in practice (pinned by test).
+	QuantFP16 = nn.QuantFP16
+	// QuantInt8 stores weight matrices as int8 codes with per-row
+	// power-of-two scales — 8× smaller than FP64, with a documented
+	// relative error budget of 2⁻⁷ per weight.
+	QuantInt8 = nn.QuantInt8
 )
 
 // Profile selects the scale of a build.
@@ -30,6 +46,7 @@ type buildConfig struct {
 	batchSize int
 	topology  *hec.Topology
 	quantize  *bool
+	quantMode *QuantMode
 	uniMods   []func(*UnivariateOptions)
 	multiMods []func(*MultivariateOptions)
 }
@@ -67,9 +84,15 @@ func WithBatchSize(n int) Option { return func(c *buildConfig) { c.batchSize = n
 // link latencies) the system is calibrated against.
 func WithTopology(t hec.Topology) Option { return func(c *buildConfig) { c.topology = &t } }
 
-// WithQuantize toggles FP16 compression of the IoT and edge models before
-// deployment (the paper's constrained-hardware step; default on).
+// WithQuantize toggles compression of the IoT and edge models before
+// deployment (the paper's constrained-hardware step; default on). The
+// precision tier defaults to FP16; see WithQuantMode.
 func WithQuantize(q bool) Option { return func(c *buildConfig) { c.quantize = &q } }
+
+// WithQuantMode selects the precision tier (QuantFP16 or QuantInt8) used
+// when quantization is on. It does not itself enable quantization —
+// combine with WithQuantize(true) or rely on the default-on profiles.
+func WithQuantMode(m QuantMode) Option { return func(c *buildConfig) { c.quantMode = &m } }
 
 // WithUnivariate applies fn to the assembled UnivariateOptions just before
 // the build runs — the escape hatch for knobs without a first-class
@@ -114,7 +137,7 @@ func Build(kind Kind, opts ...Option) (*System, error) {
 // option structs share, keeping the per-kind assembly below down to "pick
 // profile, override, run mods". Both structs wire the one seed into the
 // dataset and the model streams, like the hecbench -seed flag always did.
-func (c *buildConfig) override(seed, dataSeed *int64, topology *hec.Topology, quantize *bool) {
+func (c *buildConfig) override(seed, dataSeed *int64, topology *hec.Topology, quantize *bool, quantMode *QuantMode) {
 	if c.seed != nil {
 		*seed = *c.seed
 		*dataSeed = *c.seed
@@ -125,6 +148,18 @@ func (c *buildConfig) override(seed, dataSeed *int64, topology *hec.Topology, qu
 	if c.quantize != nil {
 		*quantize = *c.quantize
 	}
+	if c.quantMode != nil {
+		*quantMode = *c.quantMode
+	}
+}
+
+// effectiveQuantMode maps the options structs' zero value to the paper's
+// FP16 tier, preserving the historical Quantize=true behaviour.
+func effectiveQuantMode(m QuantMode) QuantMode {
+	if m == nn.QuantNone {
+		return nn.QuantFP16
+	}
+	return m
 }
 
 // BuildContext is Build with cancellation: a done ctx aborts the build at
@@ -143,7 +178,7 @@ func BuildContext(ctx context.Context, kind Kind, opts ...Option) (*System, erro
 		if cfg.profile == ProfileFast {
 			opt = FastUnivariateOptions()
 		}
-		cfg.override(&opt.Seed, &opt.Data.Seed, &opt.Topology, &opt.Quantize)
+		cfg.override(&opt.Seed, &opt.Data.Seed, &opt.Topology, &opt.Quantize, &opt.QuantMode)
 		for _, fn := range cfg.uniMods {
 			fn(&opt)
 		}
@@ -153,7 +188,7 @@ func BuildContext(ctx context.Context, kind Kind, opts ...Option) (*System, erro
 		if cfg.profile == ProfileFast {
 			opt = FastMultivariateOptions()
 		}
-		cfg.override(&opt.Seed, &opt.Data.Seed, &opt.Topology, &opt.Quantize)
+		cfg.override(&opt.Seed, &opt.Data.Seed, &opt.Topology, &opt.Quantize, &opt.QuantMode)
 		for _, fn := range cfg.multiMods {
 			fn(&opt)
 		}

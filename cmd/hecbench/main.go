@@ -12,6 +12,9 @@
 //	                                          # parallel, Table II mean±std
 //	hecbench -bench-json BENCH.json           # machine-readable perf snapshot
 //	                                          # of the batched tensor engine
+//	hecbench -roofline BENCH.json             # kernel roofline: measured
+//	                                          # compute/bandwidth ceilings and
+//	                                          # each dispatch level against them
 package main
 
 import (
@@ -34,11 +37,19 @@ func main() {
 		reps    = flag.Int("reps", 1, "Monte-Carlo repetitions over seeds seed+1..seed+reps (aggregated Table II)")
 		workers = flag.Int("workers", 0, "concurrent Monte-Carlo builds (<1 = a small CPU-based default; each build is itself internally parallel)")
 		bench   = flag.String("bench-json", "", "write a seq-vs-batched perf snapshot (BENCH_N.json style) to this path ('-' = stdout) and exit")
+		roof    = flag.String("roofline", "", "write a kernel roofline snapshot (BENCH_N.json style) to this path ('-' = stdout) and exit")
 	)
 	flag.Parse()
 
 	if *bench != "" {
 		if err := runBenchJSON(*bench, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "hecbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *roof != "" {
+		if err := runRoofline(*roof, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "hecbench:", err)
 			os.Exit(1)
 		}

@@ -351,4 +351,11 @@ func (m *Model) FlopsPerWindow(int) int64 { return m.Net.FlopsDense() }
 // Quantize applies FP16 compression to the model weights, reproducing the
 // paper's deployment step for IoT- and edge-hosted models. Returns the
 // worst-case rounding error.
-func (m *Model) Quantize() float64 { return nn.QuantizeParamsFP16(m.Net.Params()) }
+func (m *Model) Quantize() float64 { return m.QuantizeMode(nn.QuantFP16) }
+
+// QuantizeMode compresses the model weights at the given precision tier
+// (fp16 or int8) and switches inference onto the matching quantized packed
+// kernels. Returns the worst-case rounding error introduced.
+func (m *Model) QuantizeMode(mode nn.QuantMode) float64 {
+	return nn.QuantizeParams(m.Net.Params(), mode)
+}

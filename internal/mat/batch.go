@@ -121,10 +121,7 @@ func mulRange(dst, a, b *Matrix, r0, r1 int) {
 					if av == 0 {
 						continue
 					}
-					brow := b.Data[kk*n+j0 : kk*n+j1]
-					for jj, bv := range brow {
-						orow[jj] += av * bv
-					}
+					axpyInto(orow, b.Data[kk*n+j0:kk*n+j1], av)
 				}
 			}
 		}
@@ -293,10 +290,7 @@ func mulTRange(dst, a, b *Matrix, add bool, r0, r1 int) {
 			if av == 0 {
 				continue
 			}
-			orow := dst.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
+			axpyInto(dst.Data[i*n:(i+1)*n], brow, av)
 		}
 	}
 }

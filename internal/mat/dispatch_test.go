@@ -1,0 +1,136 @@
+package mat
+
+import "testing"
+
+// withKernel switches the dispatch level for the duration of a subtest and
+// restores the previous level afterwards. Tests using it must not run in
+// parallel (the level is process-global).
+func withKernel(t *testing.T, name string, fn func(t *testing.T)) {
+	t.Helper()
+	prev := KernelName()
+	if err := SetKernel(name); err != nil {
+		t.Fatalf("SetKernel(%q): %v", name, err)
+	}
+	defer func() {
+		if err := SetKernel(prev); err != nil {
+			t.Fatalf("restore kernel %q: %v", prev, err)
+		}
+	}()
+	t.Run(name, fn)
+}
+
+// exactKernels lists the available dispatch levels that are bit-exact
+// against the pure-Go reference (every level except neon).
+func exactKernels() []string {
+	var out []string
+	for _, name := range AvailableKernels() {
+		if name != KernelNEON.String() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func TestKernelString(t *testing.T) {
+	cases := map[Kernel]string{
+		KernelGo:   "go",
+		KernelSSE2: "sse2",
+		KernelAVX2: "avx2",
+		KernelNEON: "neon",
+		Kernel(42): "Kernel(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kernel(%d).String() = %q, want %q", int32(k), got, want)
+		}
+	}
+}
+
+func TestAvailableKernelsIncludesGo(t *testing.T) {
+	names := AvailableKernels()
+	found := false
+	for _, n := range names {
+		if n == "go" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("AvailableKernels() = %v, missing \"go\"", names)
+	}
+}
+
+func TestSetKernelUnknown(t *testing.T) {
+	if err := SetKernel("avx512"); err == nil {
+		t.Fatal("SetKernel(\"avx512\") succeeded, want error")
+	}
+	prev := ActiveKernel()
+	if err := SetKernel("bogus"); err == nil {
+		t.Fatal("SetKernel(\"bogus\") succeeded, want error")
+	}
+	if ActiveKernel() != prev {
+		t.Fatalf("failed SetKernel changed the active level to %v", ActiveKernel())
+	}
+}
+
+func TestSetKernelUnavailable(t *testing.T) {
+	avail := map[string]bool{}
+	for _, n := range AvailableKernels() {
+		avail[n] = true
+	}
+	for _, name := range []string{"go", "sse2", "avx2", "neon"} {
+		if avail[name] {
+			continue
+		}
+		if err := SetKernel(name); err == nil {
+			t.Errorf("SetKernel(%q) succeeded on a machine without it", name)
+			SetKernel(defaultKernel().String())
+		}
+	}
+}
+
+func TestSetKernelRoundTrip(t *testing.T) {
+	prev := KernelName()
+	defer SetKernel(prev)
+	for _, name := range AvailableKernels() {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		if got := KernelName(); got != name {
+			t.Fatalf("KernelName() = %q after SetKernel(%q)", got, name)
+		}
+	}
+}
+
+func TestDefaultKernelIsExact(t *testing.T) {
+	if k := defaultKernel(); !KernelExact(k) {
+		t.Fatalf("defaultKernel() = %v, which is not bit-exact", k)
+	}
+}
+
+func TestKernelExact(t *testing.T) {
+	for _, k := range []Kernel{KernelGo, KernelSSE2, KernelAVX2} {
+		if !KernelExact(k) {
+			t.Errorf("KernelExact(%v) = false, want true", k)
+		}
+	}
+	if KernelExact(KernelNEON) {
+		t.Error("KernelExact(neon) = true; NEON is fused and must not claim exactness")
+	}
+}
+
+func TestPackWidthFollowsKernel(t *testing.T) {
+	prev := KernelName()
+	defer SetKernel(prev)
+	for _, name := range AvailableKernels() {
+		if err := SetKernel(name); err != nil {
+			t.Fatalf("SetKernel(%q): %v", name, err)
+		}
+		want := 4
+		if name == "avx2" {
+			want = 8
+		}
+		if got := packWidth(); got != want {
+			t.Errorf("packWidth() under %s = %d, want %d", name, got, want)
+		}
+	}
+}

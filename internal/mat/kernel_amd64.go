@@ -1,22 +1,141 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package mat
 
-// SIMD path of the batch-forward kernel. amd64 guarantees SSE2, so the
-// assembly micro-kernel needs no runtime feature detection; every other
-// architecture falls back to the pure-Go kernel in batch.go (which is also
-// the reference the assembly is tested bit-for-bit against).
+// amd64 SIMD kernels. Two dispatch levels live here:
+//
+//   - sse2: the 2×4 micro-kernel (dotPanel2x4), part of the amd64 baseline,
+//     packing panels on the fly inside mulBTRangeKernel.
+//   - avx2: 8-wide micro-kernels (dotPanel2x8 / dotPanel1x8) consumed through
+//     the packed-panel cache, plus vectorised axpy and Adam-update kernels.
+//     Detected at init via CPUID + XGETBV (OS must have enabled YMM state).
+//
+// Every routine keeps the repository's exactness contract: one vector lane
+// per output element, multiply-then-add in ascending order, no FMA — so
+// results are bit-identical to the pure-Go reference at every level.
 
-// maxPanelK bounds the shared dimension the packed-panel path handles; the
-// panel (4 interleaved weight rows) must fit a fixed-size stack buffer.
-// Every model in this repository has k ≤ 672; larger products use the
-// scalar kernel.
+// detectFeatures fills the dispatch capability flags from CPUID. SSE2 is
+// part of the amd64 baseline; AVX2 additionally requires the AVX and AVX2
+// feature bits plus OS-enabled XMM+YMM state (XGETBV XCR0 bits 1 and 2).
+func detectFeatures() {
+	features.sse2 = true
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	_, _, c1, _ := cpuidAsm(1, 0)
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+		cpuidF16C    = 1 << 29
+	)
+	avxOS := false
+	if c1&cpuidOSXSAVE != 0 {
+		lo, _ := xgetbvAsm()
+		avxOS = lo&6 == 6
+	}
+	features.fma = avxOS && c1&cpuidFMA != 0
+	features.f16c = avxOS && c1&cpuidF16C != 0
+	if maxID >= 7 {
+		_, b7, _, _ := cpuidAsm(7, 0)
+		features.avx2 = avxOS && c1&cpuidAVX != 0 && b7&(1<<5) != 0
+	}
+}
+
+//go:noescape
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbvAsm() (eax, edx uint32)
+
+// maxPanelK bounds the shared dimension the on-the-fly packed-panel path
+// handles; the panel (4 interleaved weight rows) must fit a fixed-size stack
+// buffer. Every model in this repository has k ≤ 672; larger products use
+// the scalar kernel. The heap-packed PanelCache path has no such limit.
 const maxPanelK = 1024
 
-// dotPanel2x4 is implemented in kernel_amd64.s.
+// dotPanel2x4 (SSE2) is implemented in kernel_amd64.s.
 //
 //go:noescape
 func dotPanel2x4(a0, a1, panel *float64, k int, out *[8]float64)
+
+// dotPanel2x8 (AVX2) reduces two sample rows against an 8-wide panel.
+//
+//go:noescape
+func dotPanel2x8(a0, a1, panel *float64, k int, out *[16]float64)
+
+// dotPanel1x8 (AVX2) reduces one sample row against an 8-wide panel.
+//
+//go:noescape
+func dotPanel1x8(a, panel *float64, k int, out *[8]float64)
+
+// axpyAsm (AVX2) computes y[i] += s·x[i] for i < n; n must be a multiple
+// of 4.
+//
+//go:noescape
+func axpyAsm(y, x *float64, n int, s float64)
+
+// adamAsm (AVX2) applies one Adam update to n elements (n a multiple of 4),
+// replicating the scalar update's exact operation order — see AdamUpdate.
+//
+//go:noescape
+func adamAsm(w, grad, m, v *float64, n int, c *adamConsts)
+
+// adamConsts carries the broadcast scalars of adamAsm in a fixed layout the
+// assembly indexes by offset. tiny/absMask implement flushTiny: an element
+// is kept iff |x| ≥ tiny (unordered compares keep NaN, matching the scalar
+// branch).
+type adamConsts struct {
+	b1, omb1 float64 // β₁ and 1−β₁
+	b2, omb2 float64 // β₂ and 1−β₂
+	c1, c2   float64 // bias-correction denominators
+	lr, eps  float64
+	tiny     float64 // flushTiny threshold (1e-150)
+	absMask  float64 // 0x7FFF…F bit pattern, clears the sign bit
+}
+
+// dotPanelNEON2x4 is the arm64 kernel; unreachable on amd64 (the neon
+// dispatch level is never available here).
+func dotPanelNEON2x4(a0, a1, panel *float64, k int, out *[8]float64) {
+	panic("mat: neon kernel invoked on amd64")
+}
+
+// axpyKernel vectorises y += s·x under the avx2 dispatch level and reports
+// whether it ran. Multiplication and addition are correctly rounded in SIMD
+// exactly as in scalar code and every element is independent, so the result
+// is bit-identical to the scalar loop.
+func axpyKernel(y, x []float64, s float64) bool {
+	n := len(x)
+	if n < 16 || ActiveKernel() != KernelAVX2 {
+		return false
+	}
+	q := n &^ 3
+	axpyAsm(&y[0], &x[0], q, s)
+	for i := q; i < n; i++ {
+		y[i] += s * x[i]
+	}
+	return true
+}
+
+// adamKernel vectorises one Adam update under the avx2 dispatch level and
+// reports whether it ran. VSQRTPD and VDIVPD are IEEE correctly rounded, so
+// the update is bit-identical to the scalar loop in AdamUpdate.
+func adamKernel(w, g, m, v []float64, beta1, beta2, c1, c2, lr, eps float64) bool {
+	n := len(w)
+	if n < 16 || ActiveKernel() != KernelAVX2 {
+		return false
+	}
+	c := adamConsts{
+		b1: beta1, omb1: 1 - beta1,
+		b2: beta2, omb2: 1 - beta2,
+		c1: c1, c2: c2,
+		lr: lr, eps: eps,
+		tiny:    flushTinyThreshold,
+		absMask: absMaskFloat,
+	}
+	q := n &^ 3
+	adamAsm(&w[0], &g[0], &m[0], &v[0], q, &c)
+	adamScalar(w[q:], g[q:], m[q:], v[q:], beta1, beta2, c1, c2, lr, eps)
+	return true
+}
 
 // mulBTRangeKernel computes rows [r0, r1) of dst = a·bᵀ through the SSE2
 // micro-kernel and reports true, or returns false to fall back to the
@@ -26,13 +145,13 @@ func dotPanel2x4(a0, a1, panel *float64, k int, out *[8]float64)
 // Results are bit-identical to the scalar kernel: every output element is
 // a multiply-then-add chain over ascending k in its own vector lane.
 //
-// Known tradeoff: when MulBTInto fans a large product out across row
-// blocks, each block's worker re-packs the panels (packing is ~3% of the
-// product for a full 32-row batch, up to ~25% extra b traffic at the
-// 8-row minimum block). Sharing packed panels across workers would need
-// a pre-pass and a heap buffer; at the batch sizes this repository runs,
-// the simple per-block pack stays a clear net win over the scalar kernel.
+// This on-the-fly path serves uncached products only and re-packs per call
+// by design; hot weight matrices go through the PanelCache, which packs
+// once (8-wide under avx2) and reuses the panels across calls.
 func mulBTRangeKernel(dst, a, b *Matrix, r0, r1 int) bool {
+	if ActiveKernel() == KernelGo {
+		return false
+	}
 	k, n := a.Cols, b.Rows
 	// Below two sample rows there is no pair for the 2×4 micro-kernel and
 	// packing the panel would cost as much as the product itself — batch-of-1

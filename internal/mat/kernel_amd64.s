@@ -1,6 +1,28 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 #include "textflag.h"
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+//
+// Reads XCR0; only called after CPUID reports OSXSAVE, so the instruction
+// is guaranteed to exist.
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
 
 // func dotPanel2x4(a0, a1, panel *float64, k int, out *[8]float64)
 //
@@ -66,4 +88,223 @@ done:
 	MOVUPD X1, 16(DX)
 	MOVUPD X2, 32(DX)
 	MOVUPD X3, 48(DX)
+	RET
+
+// func dotPanel2x8(a0, a1, panel *float64, k int, out *[16]float64)
+//
+// AVX2 widening of dotPanel2x4: two sample rows against eight weight rows
+// interleaved into panel (panel[8·kk+c] is weight row c at position kk).
+//
+// Numerical contract: each YMM lane owns exactly one (row, column) output
+// and performs VMULPD-then-VADDPD per kk in ascending order — deliberately
+// NOT VFMADD, because fusing would round once where the scalar reference
+// rounds twice and break the repository's bit-exactness contract.
+//
+// out layout: [r0c0..r0c7 r1c0..r1c7].
+TEXT ·dotPanel2x8(SB), NOSPLIT, $0-40
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), DI
+	MOVQ panel+16(FP), BX
+	MOVQ k+24(FP), CX
+	MOVQ out+32(FP), DX
+
+	// Accumulators: Y0=r0c0-3 Y1=r0c4-7 Y2=r1c0-3 Y3=r1c4-7.
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	TESTQ CX, CX
+	JLE   done2x8
+
+loop2x8:
+	VMOVUPD      (BX), Y6      // panel c0-3
+	VMOVUPD      32(BX), Y7    // panel c4-7
+	VBROADCASTSD (SI), Y4      // a0[kk]
+	VBROADCASTSD (DI), Y5      // a1[kk]
+
+	VMULPD Y6, Y4, Y8
+	VADDPD Y8, Y0, Y0
+	VMULPD Y7, Y4, Y9
+	VADDPD Y9, Y1, Y1
+	VMULPD Y6, Y5, Y10
+	VADDPD Y10, Y2, Y2
+	VMULPD Y7, Y5, Y11
+	VADDPD Y11, Y3, Y3
+
+	ADDQ $8, SI
+	ADDQ $8, DI
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  loop2x8
+
+done2x8:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VZEROUPPER
+	RET
+
+// func dotPanel1x8(a, panel *float64, k int, out *[8]float64)
+//
+// Single-row AVX2 panel reduction — the batch-of-1 (per-sample serving)
+// kernel and the odd-row cleanup of dotPanel2x8. Same lane/order contract.
+TEXT ·dotPanel1x8(SB), NOSPLIT, $0-32
+	MOVQ a+0(FP), SI
+	MOVQ panel+8(FP), BX
+	MOVQ k+16(FP), CX
+	MOVQ out+24(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+
+	TESTQ CX, CX
+	JLE   done1x8
+
+loop1x8:
+	VMOVUPD      (BX), Y6
+	VMOVUPD      32(BX), Y7
+	VBROADCASTSD (SI), Y4
+
+	VMULPD Y6, Y4, Y8
+	VADDPD Y8, Y0, Y0
+	VMULPD Y7, Y4, Y9
+	VADDPD Y9, Y1, Y1
+
+	ADDQ $8, SI
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  loop1x8
+
+done1x8:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VZEROUPPER
+	RET
+
+// func axpyAsm(y, x *float64, n int, s float64)
+//
+// y[i] += s·x[i] for i < n; n must be a multiple of 4. Each element is an
+// independent multiply-then-add with correctly rounded SIMD arithmetic, so
+// the result is bit-identical to the scalar loop.
+TEXT ·axpyAsm(SB), NOSPLIT, $0-32
+	MOVQ         y+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD s+24(FP), Y0
+
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   axpyQuad
+
+axpyLoop8:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI), Y1, Y1
+	VADDPD  32(DI), Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	DECQ    BX
+	JNZ     axpyLoop8
+
+axpyQuad:
+	TESTQ $4, CX
+	JZ    axpyDone
+	VMOVUPD (SI), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI), Y1, Y1
+	VMOVUPD Y1, (DI)
+
+axpyDone:
+	VZEROUPPER
+	RET
+
+// func adamAsm(w, grad, m, v *float64, n int, c *adamConsts)
+//
+// One Adam update over n elements (n a multiple of 4), four lanes at a
+// time, replicating the exact operation order of the scalar loop in
+// AdamUpdate (see vecops.go):
+//
+//	m' = flushTiny(β₁·m + (1−β₁)·g)
+//	v' = flushTiny(β₂·v + ((1−β₂)·g)·g)
+//	w' = flushTiny(w − (lr·(m'/c1)) / (√(v'/c2) + ε))
+//
+// Every step uses correctly rounded VMULPD/VADDPD/VDIVPD/VSQRTPD (no FMA),
+// so the trajectory is bit-identical to the scalar path. flushTiny keeps a
+// lane iff |x| ≥ tiny, with the unordered compare ($5 = NLT_US) keeping
+// NaN, exactly like the scalar range test.
+TEXT ·adamAsm(SB), NOSPLIT, $0-48
+	MOVQ w+0(FP), DI
+	MOVQ grad+8(FP), SI
+	MOVQ m+16(FP), R8
+	MOVQ v+24(FP), R9
+	MOVQ n+32(FP), CX
+	MOVQ c+40(FP), BX
+
+	SHRQ $2, CX
+	JZ   adamDone
+
+	VBROADCASTSD 0(BX), Y7    // β₁
+	VBROADCASTSD 8(BX), Y8    // 1−β₁
+	VBROADCASTSD 16(BX), Y9   // β₂
+	VBROADCASTSD 24(BX), Y10  // 1−β₂
+	VBROADCASTSD 32(BX), Y11  // c1
+	VBROADCASTSD 40(BX), Y12  // c2
+	VBROADCASTSD 48(BX), Y13  // lr
+	VBROADCASTSD 56(BX), Y14  // ε
+	VBROADCASTSD 64(BX), Y15  // tiny (flush threshold)
+	VBROADCASTSD 72(BX), Y6   // sign-clearing |x| mask
+
+adamLoop:
+	VMOVUPD (SI), Y0          // g
+	VMOVUPD (R8), Y1          // m
+
+	// m' = β₁·m + (1−β₁)·g, then flushTiny.
+	VMULPD  Y7, Y1, Y2
+	VMULPD  Y8, Y0, Y3
+	VADDPD  Y3, Y2, Y2
+	VANDPD  Y6, Y2, Y3        // |m'|
+	VCMPPD  $5, Y15, Y3, Y4   // keep where |m'| ≥ tiny (or NaN)
+	VANDPD  Y4, Y2, Y2
+	VMOVUPD Y2, (R8)
+
+	// v' = β₂·v + ((1−β₂)·g)·g, then flushTiny.
+	VMOVUPD (R9), Y1
+	VMULPD  Y9, Y1, Y3
+	VMULPD  Y10, Y0, Y4
+	VMULPD  Y0, Y4, Y4
+	VADDPD  Y4, Y3, Y3
+	VANDPD  Y6, Y3, Y4
+	VCMPPD  $5, Y15, Y4, Y5
+	VANDPD  Y5, Y3, Y3
+	VMOVUPD Y3, (R9)
+
+	// w' = w − (lr·(m'/c1)) / (√(v'/c2) + ε), then flushTiny.
+	VDIVPD  Y11, Y2, Y2       // m̂ = m'/c1
+	VDIVPD  Y12, Y3, Y3       // v̂ = v'/c2
+	VSQRTPD Y3, Y3
+	VADDPD  Y14, Y3, Y3
+	VMULPD  Y13, Y2, Y2
+	VDIVPD  Y3, Y2, Y2
+	VMOVUPD (DI), Y0
+	VSUBPD  Y2, Y0, Y0
+	VANDPD  Y6, Y0, Y4
+	VCMPPD  $5, Y15, Y4, Y5
+	VANDPD  Y5, Y0, Y0
+	VMOVUPD Y0, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	ADDQ $32, R8
+	ADDQ $32, R9
+	DECQ CX
+	JNZ  adamLoop
+
+adamDone:
+	VZEROUPPER
 	RET

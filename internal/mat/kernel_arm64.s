@@ -1,0 +1,57 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// func dotPanelNEON2x4(a0, a1, panel *float64, k int, out *[8]float64)
+//
+// Computes eight dot products at once — two sample rows (a0, a1) against
+// four weight rows interleaved into panel (panel[4·kk+c] is weight row c at
+// position kk) — with NEON float64 vectors.
+//
+// Numerical contract: each lane owns exactly one (row, column) output and
+// accumulates in ascending k order, but the accumulation uses VFMLA (fused
+// multiply-add, the only vector float64 multiply-accumulate the arm64
+// assembler provides), which rounds once per step where the pure-Go
+// reference rounds twice. Results therefore differ from the reference by a
+// bounded accumulation of half-ULP roundings; this kernel backs the opt-in
+// "neon" dispatch level only and is never the arm64 default.
+//
+// out layout: [r0c0 r0c1 r0c2 r0c3 r1c0 r1c1 r1c2 r1c3].
+TEXT ·dotPanelNEON2x4(SB), NOSPLIT, $0-40
+	MOVD a0+0(FP), R0
+	MOVD a1+8(FP), R1
+	MOVD panel+16(FP), R2
+	MOVD k+24(FP), R3
+	MOVD out+32(FP), R4
+
+	// Accumulators: V0=[r0c0 r0c1] V1=[r0c2 r0c3] V2=[r1c0 r1c1] V3=[r1c2 r1c3].
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+
+	CBZ R3, done
+
+loop:
+	// Panel columns for this kk: V4=[c0 c1] V5=[c2 c3].
+	VLD1.P 32(R2), [V4.D2, V5.D2]
+
+	// Broadcast a0[kk] and a1[kk].
+	FMOVD (R0), F6
+	FMOVD (R1), F7
+	VDUP  V6.D[0], V6.D2
+	VDUP  V7.D[0], V7.D2
+
+	VFMLA V4.D2, V6.D2, V0.D2
+	VFMLA V5.D2, V6.D2, V1.D2
+	VFMLA V4.D2, V7.D2, V2.D2
+	VFMLA V5.D2, V7.D2, V3.D2
+
+	ADD  $8, R0
+	ADD  $8, R1
+	SUBS $1, R3, R3
+	BNE  loop
+
+done:
+	VST1 [V0.D2, V1.D2, V2.D2, V3.D2], (R4)
+	RET

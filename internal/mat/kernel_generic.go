@@ -1,10 +1,40 @@
-//go:build !amd64
+//go:build (!amd64 && !arm64) || noasm
 
 package mat
 
-// mulBTRangeKernel reports false on architectures without an assembly
-// micro-kernel; mulBTRange falls back to the pure-Go register-blocked
-// kernel, which computes identical results.
+// Pure-Go build: architectures without an assembly micro-kernel, and every
+// architecture under the noasm build tag (the CI leg that runs the
+// reference kernels under -race). No CPU features are reported, so the
+// dispatcher pins the "go" level and none of the stubs below is reachable.
+
+func detectFeatures() {}
+
+// mulBTRangeKernel reports false; mulBTRange falls back to the pure-Go
+// register-blocked kernel, which computes identical results.
 func mulBTRangeKernel(dst, a, b *Matrix, r0, r1 int) bool {
 	return false
+}
+
+// axpyKernel reports false; callers use the scalar loop.
+func axpyKernel(y, x []float64, s float64) bool { return false }
+
+// adamKernel reports false; callers use the scalar loop.
+func adamKernel(w, g, m, v []float64, beta1, beta2, c1, c2, lr, eps float64) bool {
+	return false
+}
+
+func dotPanel2x4(a0, a1, panel *float64, k int, out *[8]float64) {
+	panic("mat: sse2 kernel invoked on a pure-Go build")
+}
+
+func dotPanel2x8(a0, a1, panel *float64, k int, out *[16]float64) {
+	panic("mat: avx2 kernel invoked on a pure-Go build")
+}
+
+func dotPanel1x8(a, panel *float64, k int, out *[8]float64) {
+	panic("mat: avx2 kernel invoked on a pure-Go build")
+}
+
+func dotPanelNEON2x4(a0, a1, panel *float64, k int, out *[8]float64) {
+	panic("mat: neon kernel invoked on a pure-Go build")
 }

@@ -21,14 +21,13 @@ func Dot(a, b []float64) (float64, error) {
 	return s, nil
 }
 
-// AxpyVec computes y += s·x in place.
+// AxpyVec computes y += s·x in place, through the vectorised kernel when
+// the active dispatch level has one (bit-identical to the scalar loop).
 func AxpyVec(s float64, x, y []float64) error {
 	if len(x) != len(y) {
 		return fmt.Errorf("%w: AxpyVec lengths %d and %d", ErrShape, len(x), len(y))
 	}
-	for i, v := range x {
-		y[i] += s * v
-	}
+	axpyInto(y, x, s)
 	return nil
 }
 

@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dispatched element-wise kernels shared by the matmul inner loops and the
+// optimiser hot path. Unlike the dot-product kernels, these operate on
+// independent elements: IEEE multiply/add/divide/sqrt are correctly rounded
+// in SIMD exactly as in scalar code, so as long as the per-element
+// expression tree is replicated operation for operation, the vector paths
+// are bit-identical to the scalar reference at every dispatch level.
+
+const (
+	// flushTinyThreshold is the magnitude below which optimiser state is
+	// snapped to zero. Weight decay walks dead weights (e.g. behind dead
+	// ReLU units) through ever-smaller values whose squares are subnormal
+	// floats; subnormal arithmetic is orders of magnitude slower on common
+	// CPUs, so optimiser state must never linger there.
+	flushTinyThreshold = 1e-150
+)
+
+// absMaskFloat is the float64 whose bit pattern clears the sign bit; the
+// AVX2 flushTiny mask ANDs with it to take |x|. The value itself is a NaN —
+// it is only ever used for its bits.
+var absMaskFloat = math.Float64frombits(0x7FFFFFFFFFFFFFFF)
+
+// FlushTiny snaps magnitudes below 1e-150 to zero (NaN and anything ≥ the
+// threshold pass through unchanged).
+func FlushTiny(v float64) float64 {
+	if v > -flushTinyThreshold && v < flushTinyThreshold {
+		return 0
+	}
+	return v
+}
+
+// axpyInto computes y[i] += s·x[i] over len(x) elements (y must be at least
+// as long), through the vector kernel when the active dispatch level has
+// one. Bit-identical to the scalar loop at every level.
+func axpyInto(y, x []float64, s float64) {
+	if axpyKernel(y, x, s) {
+		return
+	}
+	for i, v := range x {
+		y[i] += s * v
+	}
+}
+
+// AdamUpdate applies one Adam step to w from gradient g with first/second
+// moment state m, v (all equal length):
+//
+//	m[i] = flushTiny(β₁·m[i] + (1−β₁)·g[i])
+//	v[i] = flushTiny(β₂·v[i] + ((1−β₂)·g[i])·g[i])
+//	w[i] = flushTiny(w[i] − (lr·(m[i]/c1)) / (√(v[i]/c2) + ε))
+//
+// where c1 = 1−β₁ᵗ and c2 = 1−β₂ᵗ are the caller-computed bias-correction
+// denominators. The expression shape above is the contract: the AVX2 kernel
+// replicates it operation for operation (division and square root are
+// correctly rounded in SIMD), so training trajectories are bit-identical at
+// every dispatch level. Gradients are left untouched; the caller zeroes
+// them.
+func AdamUpdate(w, g, m, v []float64, beta1, beta2, c1, c2, lr, eps float64) error {
+	if len(g) != len(w) || len(m) != len(w) || len(v) != len(w) {
+		return fmt.Errorf("%w: AdamUpdate lengths w=%d g=%d m=%d v=%d",
+			ErrShape, len(w), len(g), len(m), len(v))
+	}
+	if adamKernel(w, g, m, v, beta1, beta2, c1, c2, lr, eps) {
+		return nil
+	}
+	adamScalar(w, g, m, v, beta1, beta2, c1, c2, lr, eps)
+	return nil
+}
+
+// adamScalar is the reference Adam loop — also the tail cleanup of the AVX2
+// kernel, so its operation order IS the contract documented on AdamUpdate.
+func adamScalar(w, g, m, v []float64, beta1, beta2, c1, c2, lr, eps float64) {
+	omb1 := 1 - beta1
+	omb2 := 1 - beta2
+	for i, gi := range g {
+		mi := FlushTiny(beta1*m[i] + omb1*gi)
+		vi := FlushTiny(beta2*v[i] + omb2*gi*gi)
+		m[i] = mi
+		v[i] = vi
+		mhat := mi / c1
+		vhat := vi / c2
+		w[i] = FlushTiny(w[i] - lr*mhat/(math.Sqrt(vhat)+eps))
+	}
+}

@@ -179,12 +179,17 @@ func TestBatchGradientCheck(t *testing.T) {
 	const eps = 1e-6
 	for _, p := range net.Params() {
 		for i := range p.Value.Data {
+			// Direct weight pokes must invalidate the panel cache, like
+			// every real weight-mutation path does.
 			orig := p.Value.Data[i]
 			p.Value.Data[i] = orig + eps
+			p.invalidate()
 			lp := lossAt()
 			p.Value.Data[i] = orig - eps
+			p.invalidate()
 			lm := lossAt()
 			p.Value.Data[i] = orig
+			p.invalidate()
 			numeric := (lp - lm) / (2 * eps)
 			analytic := p.Grad.Data[i]
 			if d := numeric - analytic; d > 1e-5 || d < -1e-5 {

@@ -25,11 +25,26 @@ import (
 // Param is one trainable tensor of a layer, paired with its gradient
 // accumulator. WeightDecay marks parameters that participate in L2 ("kernel")
 // regularisation — weights yes, biases no, matching Keras's kernel_regularizer.
+//
+// Cache, when non-nil, is the layer's packed-panel cache for this tensor:
+// every code path that rewrites Value (optimiser steps, snapshot restore,
+// quantisation) must call Cache.Invalidate() afterwards so inference never
+// consumes stale panels. Layers expose it only for weight matrices consumed
+// through mat.MulBTCachedInto; biases and non-matmul parameters leave it nil.
 type Param struct {
 	Name        string
 	Value       *mat.Matrix
 	Grad        *mat.Matrix
 	WeightDecay bool
+	Cache       *mat.PanelCache
+}
+
+// invalidate drops the parameter's packed panels, if it has any. Optimisers
+// call it after every value update.
+func (p Param) invalidate() {
+	if p.Cache != nil {
+		p.Cache.Invalidate()
+	}
 }
 
 // Layer is one differentiable stage of a network.
@@ -89,6 +104,11 @@ type Dense struct {
 	outB   mat.Matrix // forward scratch, batch×out
 	gradIn mat.Matrix // backward scratch, batch×in
 	haveX  bool
+
+	// cache holds W packed into panels for the active kernel; it is
+	// invalidated through Params().Cache whenever W changes, so
+	// steady-state inference packs W exactly once.
+	cache mat.PanelCache
 }
 
 // NewDense creates a Dense layer with Glorot-uniform initialised weights and
@@ -107,14 +127,17 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
-// ApplyBatch implements Layer: dst = X·Wᵀ + b into caller-owned dst,
-// touching no layer state.
+// ApplyBatch implements Layer: dst = X·Wᵀ + b into caller-owned dst. W is
+// consumed through the layer's packed-panel cache, so steady-state
+// inference packs W once and reuses the panels across batches; the cache
+// is lock-free (atomic pointer swaps, concurrent first calls may pack
+// twice) and the method remains safe for concurrent use.
 func (d *Dense) ApplyBatch(dst, x *mat.Matrix) error {
 	if x.Cols != d.W.Cols {
 		return fmt.Errorf("%w: dense forward input width %d, want %d", mat.ErrShape, x.Cols, d.W.Cols)
 	}
 	dst.Reshape(x.Rows, d.W.Rows)
-	if err := mat.MulBTInto(dst, x, d.W); err != nil {
+	if err := mat.MulBTCachedInto(dst, x, d.W, &d.cache); err != nil {
 		return fmt.Errorf("dense forward: %w", err)
 	}
 	return dst.AddRowWise(d.B)
@@ -186,7 +209,7 @@ func (d *Dense) Backward(gradOut []float64) ([]float64, error) {
 // Params implements Layer.
 func (d *Dense) Params() []Param {
 	return []Param{
-		{Name: "W", Value: d.W, Grad: d.gradW, WeightDecay: true},
+		{Name: "W", Value: d.W, Grad: d.gradW, WeightDecay: true, Cache: &d.cache},
 		{Name: "b", Value: rowView(d.B), Grad: rowView(d.gradB)},
 	}
 }

@@ -27,12 +27,17 @@ func numericalGrad(t *testing.T, net *Sequential, x, y []float64, eps float64) [
 	for _, p := range net.Params() {
 		g := make([]float64, len(p.Value.Data))
 		for i := range p.Value.Data {
+			// Direct weight pokes must invalidate the panel cache, like
+			// every real weight-mutation path does.
 			orig := p.Value.Data[i]
 			p.Value.Data[i] = orig + eps
+			p.invalidate()
 			lp := lossAt()
 			p.Value.Data[i] = orig - eps
+			p.invalidate()
 			lm := lossAt()
 			p.Value.Data[i] = orig
+			p.invalidate()
 			g[i] = (lp - lm) / (2 * eps)
 		}
 		grads = append(grads, g)

@@ -51,22 +51,20 @@ func applyDecay(params []Param, lambda float64) {
 		if !p.WeightDecay {
 			continue
 		}
-		for i, w := range p.Value.Data {
-			p.Grad.Data[i] += lambda * w
-		}
+		// Grad += λ·Value through the vectorised axpy kernel (bit-identical
+		// to the scalar loop); lengths always match, so the error is
+		// unreachable.
+		_ = mat.AxpyVec(lambda, p.Value.Data, p.Grad.Data)
 	}
 }
 
 // flushTiny snaps magnitudes below 1e-150 to zero. Weight decay walks dead
 // weights (e.g. behind dead ReLU units) through ever-smaller values whose
 // squares are subnormal floats; subnormal arithmetic is orders of magnitude
-// slower on common CPUs, so optimiser state must never linger there.
-func flushTiny(v float64) float64 {
-	if v > -1e-150 && v < 1e-150 {
-		return 0
-	}
-	return v
-}
+// slower on common CPUs, so optimiser state must never linger there. The
+// threshold and semantics live in mat so the SIMD Adam kernel and the
+// scalar optimisers share one definition.
+func flushTiny(v float64) float64 { return mat.FlushTiny(v) }
 
 // SGD is plain stochastic gradient descent with optional momentum.
 type SGD struct {
@@ -110,6 +108,7 @@ func (o *SGD) Step(params []Param) error {
 			}
 		}
 		p.Grad.Zero()
+		p.invalidate()
 	}
 	return nil
 }
@@ -154,6 +153,7 @@ func (o *RMSProp) Step(params []Param) error {
 			p.Value.Data[j] = flushTiny(p.Value.Data[j] - o.LR*g/(math.Sqrt(c.Data[j])+o.Eps))
 		}
 		p.Grad.Zero()
+		p.invalidate()
 	}
 	return nil
 }
@@ -200,15 +200,15 @@ func (o *Adam) Step(params []Param) error {
 	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
 	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
 	for i, p := range params {
-		m, v := o.m[i], o.v[i]
-		for j, g := range p.Grad.Data {
-			m.Data[j] = flushTiny(o.Beta1*m.Data[j] + (1-o.Beta1)*g)
-			v.Data[j] = flushTiny(o.Beta2*v.Data[j] + (1-o.Beta2)*g*g)
-			mhat := m.Data[j] / c1
-			vhat := v.Data[j] / c2
-			p.Value.Data[j] = flushTiny(p.Value.Data[j] - o.LR*mhat/(math.Sqrt(vhat)+o.Eps))
+		// The whole element-wise update runs through mat.AdamUpdate, which
+		// dispatches to the AVX2 kernel when available; every dispatch level
+		// is bit-identical to the scalar reference loop.
+		if err := mat.AdamUpdate(p.Value.Data, p.Grad.Data, o.m[i].Data, o.v[i].Data,
+			o.Beta1, o.Beta2, c1, c2, o.LR, o.Eps); err != nil {
+			return err
 		}
 		p.Grad.Zero()
+		p.invalidate()
 	}
 	return nil
 }

@@ -50,6 +50,7 @@ func (s *Snapshot) Restore(params []Param) error {
 				i, s.Names[i], s.Shapes[i][0], s.Shapes[i][1], p.Value.Rows, p.Value.Cols)
 		}
 		copy(p.Value.Data, s.Values[i])
+		p.invalidate() // restored weights must not serve stale panels
 	}
 	return nil
 }

@@ -53,11 +53,11 @@ func (l *LSTM) StepBatch(st *StepState, x *mat.Matrix) error {
 			mat.ErrShape, st.H.Rows, st.H.Cols, x.Rows, x.Cols, H)
 	}
 	z := st.z.Reshape(x.Rows, 4*H)
-	if err := mat.MulBTInto(z, x, l.Wx); err != nil {
+	if err := mat.MulBTCachedInto(z, x, l.Wx, &l.cacheWx); err != nil {
 		return fmt.Errorf("lstm batch step: %w", err)
 	}
 	zh := st.zh.Reshape(x.Rows, 4*H)
-	if err := mat.MulBTInto(zh, &st.H, l.Wh); err != nil {
+	if err := mat.MulBTCachedInto(zh, &st.H, l.Wh, &l.cacheWh); err != nil {
 		return fmt.Errorf("lstm batch step: %w", err)
 	}
 	for r := 0; r < x.Rows; r++ {
@@ -165,7 +165,7 @@ func (m *Seq2Seq) ReconstructBatch(windows [][][]float64) ([][][]float64, error)
 		if err := m.Decoder.StepBatch(&dec, prev); err != nil {
 			return nil, fmt.Errorf("seq2seq decode step %d: %w", t, err)
 		}
-		if err := mat.MulBTInto(yt, &dec.H, m.Wy); err != nil {
+		if err := mat.MulBTCachedInto(yt, &dec.H, m.Wy, &m.cacheWy); err != nil {
 			return nil, err
 		}
 		if err := yt.AddRowWise(m.By); err != nil {

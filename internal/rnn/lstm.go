@@ -35,6 +35,12 @@ type LSTM struct {
 	gradB  []float64
 
 	cache *lstmCache
+
+	// cacheWx/cacheWh hold the kernels packed into panels for the batched
+	// step path; invalidated through Params().Cache whenever the weights
+	// change, so steady-state inference packs each kernel once per update.
+	cacheWx mat.PanelCache
+	cacheWh mat.PanelCache
 }
 
 // lstmCache stores everything BackwardSeq needs from a training-mode
@@ -238,8 +244,8 @@ func (l *LSTM) BackwardSeq(dhs [][]float64, dhT, dcT []float64) (dxs [][]float64
 // Params returns the trainable parameters.
 func (l *LSTM) Params() []nn.Param {
 	return []nn.Param{
-		{Name: "Wx", Value: l.Wx, Grad: l.gradWx, WeightDecay: true},
-		{Name: "Wh", Value: l.Wh, Grad: l.gradWh, WeightDecay: true},
+		{Name: "Wx", Value: l.Wx, Grad: l.gradWx, WeightDecay: true, Cache: &l.cacheWx},
+		{Name: "Wh", Value: l.Wh, Grad: l.gradWh, WeightDecay: true, Cache: &l.cacheWh},
 		{Name: "b", Value: vecMat(l.B), Grad: vecMat(l.gradB)},
 	}
 }

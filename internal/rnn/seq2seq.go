@@ -40,6 +40,11 @@ type Seq2Seq struct {
 	gradWy *mat.Matrix
 	gradBy []float64
 	rng    *rand.Rand
+
+	// cacheWy holds the reconstruction head packed into panels for
+	// ReconstructBatch; invalidated through Params().Cache on every weight
+	// update.
+	cacheWy mat.PanelCache
 }
 
 // Config selects the seq2seq variant to build.
@@ -299,7 +304,7 @@ func (m *Seq2Seq) Params() []nn.Param {
 	}
 	ps = append(ps, m.Decoder.Params()...)
 	ps = append(ps,
-		nn.Param{Name: "Wy", Value: m.Wy, Grad: m.gradWy, WeightDecay: true},
+		nn.Param{Name: "Wy", Value: m.Wy, Grad: m.gradWy, WeightDecay: true, Cache: &m.cacheWy},
 		nn.Param{Name: "by", Value: vecMat(m.By), Grad: vecMat(m.gradBy)},
 	)
 	return ps

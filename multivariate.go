@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/features"
 	"repro/internal/hec"
+	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/seq2seq"
@@ -28,9 +29,12 @@ type MultivariateOptions struct {
 	Policy hec.PolicyConfig
 	// Topology is the HEC testbed model.
 	Topology hec.Topology
-	// Quantize applies FP16 compression to the IoT and edge models before
-	// deployment.
+	// Quantize applies quantized compression to the IoT and edge models
+	// before deployment.
 	Quantize bool
+	// QuantMode selects the precision tier used when Quantize is on; the
+	// zero value (nn.QuantNone) means the paper's FP16.
+	QuantMode nn.QuantMode
 	// MaxTrainWindows caps the windows used per training epoch (0 = all);
 	// useful to bound pure-Go BPTT time.
 	MaxTrainWindows int
@@ -119,7 +123,7 @@ func buildMultivariate(ctx context.Context, opt MultivariateOptions, eng engineO
 			return fmt.Errorf("repro: training %s: %w", m.Name(), err)
 		}
 		if opt.Quantize && hec.Layer(l) != hec.LayerCloud {
-			m.Quantize()
+			m.QuantizeMode(effectiveQuantMode(opt.QuantMode))
 		}
 		detectors[l] = m
 		if hec.Layer(l) == hec.LayerIoT {

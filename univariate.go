@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/features"
 	"repro/internal/hec"
+	"repro/internal/nn"
 	"repro/internal/parallel"
 	"repro/internal/policy"
 )
@@ -23,9 +24,12 @@ type UnivariateOptions struct {
 	Policy hec.PolicyConfig
 	// Topology is the HEC testbed model.
 	Topology hec.Topology
-	// Quantize applies FP16 compression to the IoT and edge models before
-	// deployment, as the paper does.
+	// Quantize applies quantized compression to the IoT and edge models
+	// before deployment, as the paper does.
 	Quantize bool
+	// QuantMode selects the precision tier used when Quantize is on; the
+	// zero value (nn.QuantNone) means the paper's FP16.
+	QuantMode nn.QuantMode
 	// Seed drives model initialisation and policy training.
 	Seed int64
 }
@@ -107,9 +111,10 @@ func buildUnivariate(ctx context.Context, opt UnivariateOptions, eng engineOptio
 			return fmt.Errorf("repro: training %s: %w", m.Name(), err)
 		}
 		// The paper compresses the models deployed on constrained hardware
-		// (IoT and edge) to FP16 before deployment.
+		// (IoT and edge) before deployment — FP16 by default, int8 when
+		// requested.
 		if opt.Quantize && hec.Layer(l) != hec.LayerCloud {
-			m.Quantize()
+			m.QuantizeMode(effectiveQuantMode(opt.QuantMode))
 		}
 		detectors[l] = m
 		return nil
