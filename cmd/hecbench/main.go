@@ -15,6 +15,9 @@
 //	hecbench -roofline BENCH.json             # kernel roofline: measured
 //	                                          # compute/bandwidth ceilings and
 //	                                          # each dispatch level against them
+//	hecbench -sched BENCH.json                # scheduler queue disciplines on
+//	                                          # the deadline-overload burst
+//	                                          # (EDF vs FIFO vs pathological)
 package main
 
 import (
@@ -38,6 +41,7 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent Monte-Carlo builds (<1 = a small CPU-based default; each build is itself internally parallel)")
 		bench   = flag.String("bench-json", "", "write a seq-vs-batched perf snapshot (BENCH_N.json style) to this path ('-' = stdout) and exit")
 		roof    = flag.String("roofline", "", "write a kernel roofline snapshot (BENCH_N.json style) to this path ('-' = stdout) and exit")
+		schedJ  = flag.String("sched", "", "write a scheduler queue-discipline comparison (deadline-overload burst, BENCH_N.json style) to this path ('-' = stdout) and exit")
 	)
 	flag.Parse()
 
@@ -50,6 +54,13 @@ func main() {
 	}
 	if *roof != "" {
 		if err := runRoofline(*roof, *fast); err != nil {
+			fmt.Fprintln(os.Stderr, "hecbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *schedJ != "" {
+		if err := runSchedBench(*schedJ); err != nil {
 			fmt.Fprintln(os.Stderr, "hecbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/sched"
+	"repro/internal/schedbench"
+)
+
+// schedSchema identifies the scheduler-comparison snapshot layout.
+const schedSchema = "hec-sched/1"
+
+// SchedSnapshot is the machine-readable scheduler comparison (BENCH_9.json):
+// every queue discipline's showing on the canonical deadline-overload burst
+// plus the two ratios CI gates on.
+type SchedSnapshot struct {
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"go_maxprocs"`
+	// Burst geometry, recorded so a reader can interpret the numbers
+	// without chasing the harness source.
+	Jobs      int     `json:"jobs"`
+	Slots     int     `json:"slots"`
+	ServiceMs float64 `json:"service_ms"`
+	// Results holds one entry per policy, in run order.
+	Results []schedbench.Result `json:"results"`
+	// EDFOverFIFOHitRate is EDF's deadline hit-rate over FIFO's — the
+	// headline discriminator, gated >= 1.3 in CI. ReverseOverEDFHitRate
+	// is the pathological policy's hit-rate over EDF's, gated <= 0.85:
+	// the discipline must be able to hurt as well as help, or the
+	// comparison isn't measuring scheduling at all.
+	EDFOverFIFOHitRate    float64 `json:"edf_over_fifo_hit_rate"`
+	ReverseOverEDFHitRate float64 `json:"reverse_over_edf_hit_rate"`
+}
+
+// runSchedBench drives the canonical overload burst under every queue
+// discipline and writes the comparison snapshot ('-' = stdout). The burst
+// is deterministic by construction (see internal/schedbench), so the
+// deltas here are CI-gateable, not vibes: EDF meets every deadline of an
+// EDF-feasible burst, FIFO misses the windows it served out of deadline
+// order, reverse-EDF misses more still.
+func runSchedBench(path string) error {
+	snap := SchedSnapshot{
+		Schema:     schedSchema,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Jobs:       32,
+		Slots:      1,
+		ServiceMs:  10,
+	}
+	fmt.Fprintln(os.Stderr, "hecbench: scheduler overload burst, ~2s per policy...")
+	byName := make(map[string]schedbench.Result, 4)
+	for _, p := range []sched.Policy{sched.FIFO{}, sched.EDF{}, sched.SLOClass{}, sched.ReverseEDF{}} {
+		res, err := schedbench.RunBurst(p)
+		if err != nil {
+			return fmt.Errorf("sched bench: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s met %2d/%2d  hit-rate %.2f  p99-met %6.1fms  canceled %d\n",
+			res.Policy, res.Met, res.Total, res.HitRate, res.P99MetMs, res.Canceled)
+		snap.Results = append(snap.Results, res)
+		byName[res.Policy] = res
+	}
+	if fifo := byName["fifo"].HitRate; fifo > 0 {
+		snap.EDFOverFIFOHitRate = byName["edf"].HitRate / fifo
+	}
+	if edf := byName["edf"].HitRate; edf > 0 {
+		snap.ReverseOverEDFHitRate = byName["reverse-edf"].HitRate / edf
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hecbench: wrote %s\n", path)
+	return nil
+}

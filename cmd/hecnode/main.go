@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/hec"
+	"repro/internal/sched"
 	"repro/internal/seq2seq"
 	"repro/internal/transport"
 )
@@ -51,21 +53,36 @@ func main() {
 		fetch  = flag.String("fetch", "", "fetch the model from a running peer node instead of training")
 		drain  = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: finish in-flight requests for up to this long on SIGTERM")
 		orphan = flag.Bool("exit-with-parent", false, "drain and exit when the spawning process dies (for autoscaler-spawned replicas)")
+
+		schedPolicy = flag.String("sched", "", "enable the server-side request scheduler with this queue policy: fifo | edf | slo | reverse-edf (empty = no scheduler, requests run as they arrive)")
+		schedLimit  = flag.Int("sched-limit", 0, "scheduler concurrency limit (0 = GOMAXPROCS); only with -sched")
+		schedQueue  = flag.Int("sched-queue", 64, "scheduler queue capacity beyond the concurrency limit; excess requests get a busy response; only with -sched")
 	)
 	flag.Parse()
-	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch, *drain, *orphan); err != nil {
+	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch, *drain, *orphan, *schedPolicy, *schedLimit, *schedQueue); err != nil {
 		fmt.Fprintln(os.Stderr, "hecnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(layerName, data, addr string, seed int64, save, load, fetch string, drain time.Duration, orphan bool) error {
+func run(layerName, data, addr string, seed int64, save, load, fetch string, drain time.Duration, orphan bool, schedPolicy string, schedLimit, schedQueue int) error {
 	l, err := parseLayer(layerName)
 	if err != nil {
 		return err
 	}
 	if load != "" && fetch != "" {
 		return fmt.Errorf("-load and -fetch are mutually exclusive")
+	}
+	var schedCfg *sched.Config
+	if schedPolicy != "" {
+		pol, err := sched.ParsePolicy(schedPolicy)
+		if err != nil {
+			return err
+		}
+		if schedLimit <= 0 {
+			schedLimit = runtime.GOMAXPROCS(0)
+		}
+		schedCfg = &sched.Config{MaxConcurrent: schedLimit, MaxQueue: schedQueue, Policy: pol}
 	}
 
 	var (
@@ -130,12 +147,17 @@ func run(layerName, data, addr string, seed int64, save, load, fetch string, dra
 		return err
 	}
 
-	srv, err := serveDetector(addr, det, transport.ServerOptions{ExecMs: execMs, Model: snap})
+	srv, err := serveDetector(addr, det, transport.ServerOptions{ExecMs: execMs, Model: snap, Sched: schedCfg})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Printf("hecnode: %s (%s) serving on %s\n", det.Name(), l, srv.Addr())
+	if schedCfg != nil {
+		fmt.Printf("hecnode: %s (%s) serving on %s [sched %s, limit %d, queue %d]\n",
+			det.Name(), l, srv.Addr(), schedCfg.Policy.Name(), schedCfg.MaxConcurrent, schedCfg.MaxQueue)
+	} else {
+		fmt.Printf("hecnode: %s (%s) serving on %s\n", det.Name(), l, srv.Addr())
+	}
 
 	// Graceful drain, so rolling this replica does not surface spurious
 	// remote errors to clients: the first signal stops accepting and lets

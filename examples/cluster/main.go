@@ -61,6 +61,7 @@ func main() {
 		batch    = flag.Int("batch", 0, "windows shipped per request (<2 = per-window dispatch)")
 		scenario = flag.String("scenario", "", "scripted fault scenario over a mixed cohort fleet: spike-kill | straggler | flap (needs in-process edge replicas)")
 		elastic  = flag.Bool("autoscale", false, "elastic-fleet demo: a load spike drives the cloud tier 1→4 replicas and drains back to 1 (needs in-process cloud replicas)")
+		schedPol = flag.String("sched", "", "server-side scheduler demo: run the deadline-overload burst under this queue policy vs a FIFO baseline (fifo | edf | slo | reverse-edf); skips the live fleet run")
 	)
 	flag.Parse()
 	// ^C cancels the context, which drains the device fleet promptly: each
@@ -68,6 +69,14 @@ func main() {
 	// deadline-propagating transport.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if *schedPol != "" {
+		// The scheduler demo is self-contained (its own paced server, no
+		// trained models): dispatch before the training pipeline spins up.
+		if err := runSchedDemo(*schedPol); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	err := run(ctx, *devices, *rounds, *scale, *poolSize, *replicas, *policy, *seed, *edgeAddr, *cloudAdr, *batch, *scenario, *elastic)
 	if errors.Is(err, context.Canceled) {
 		fmt.Println("\ninterrupted — device fleet drained")

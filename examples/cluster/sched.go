@@ -1,0 +1,65 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/schedbench"
+)
+
+// runSchedDemo compares the server-side request scheduler's queue
+// disciplines head to head on the canonical deadline-overload burst: one
+// service slot, 32 jobs whose deadlines are EDF-feasible but arrive in a
+// shuffled order. FIFO always runs as the baseline; the chosen policy runs
+// against it (plus reverse-EDF for the pathological floor when the chosen
+// policy is EDF). Under EDF no in-deadline window is dropped — every job a
+// feasible schedule could save, EDF saves — while FIFO burns its slot on
+// late-deadline arrivals and sheds the rest.
+func runSchedDemo(policyName string) error {
+	chosen, err := sched.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	policies := []sched.Policy{sched.FIFO{}}
+	if chosen.Name() != (sched.FIFO{}).Name() {
+		policies = append(policies, chosen)
+	}
+	if chosen.Name() == (sched.EDF{}).Name() {
+		policies = append(policies, sched.ReverseEDF{})
+	}
+
+	fmt.Printf("\nscheduler overload demo: 1 slot, 32 jobs x 10 ms service, deadlines 11 ms/job + 20 ms slack\n")
+	fmt.Printf("(~2 s per policy: jobs enqueue behind a held slot, then the burst runs)\n\n")
+	fmt.Printf("%-12s %9s %9s %12s %8s %8s %9s\n",
+		"policy", "met", "hit-rate", "p99-met(ms)", "busy", "expired", "canceled")
+	results := make(map[string]schedbench.Result, len(policies))
+	for _, p := range policies {
+		r, err := schedbench.RunBurst(p)
+		if err != nil {
+			return err
+		}
+		results[r.Policy] = r
+		fmt.Printf("%-12s %5d/%-3d %9.2f %12.1f %8d %8d %9d\n",
+			r.Policy, r.Met, r.Total, r.HitRate, r.P99MetMs, r.Busy, r.Expired, r.Canceled)
+	}
+
+	fmt.Println()
+	cr := results[chosen.Name()]
+	if chosen.Name() == (sched.EDF{}).Name() {
+		if cr.Met == cr.Total {
+			fmt.Printf("EDF dropped zero in-deadline windows (%d/%d met) — every job a feasible\n"+
+				"schedule could save, it saved; FIFO met %d/%d on the same burst.\n",
+				cr.Met, cr.Total, results["fifo"].Met, results["fifo"].Total)
+		} else {
+			fmt.Printf("note: EDF met %d/%d — scheduling jitter cost it a feasible window this run.\n",
+				cr.Met, cr.Total)
+		}
+	} else if chosen.Name() != (sched.FIFO{}).Name() {
+		fmt.Printf("%s met %d/%d vs FIFO's %d/%d on the same burst.\n",
+			chosen.Name(), cr.Met, cr.Total, results["fifo"].Met, results["fifo"].Total)
+	}
+	fmt.Println("the canceled column is OpCancel at work: jobs whose client-side deadline")
+	fmt.Println("fired were withdrawn from the queue by cancel frames, freeing their seats")
+	fmt.Println("without costing the slot any service time.")
+	return nil
+}

@@ -44,6 +44,16 @@ type Metrics struct {
 	InFlight int
 	// Shed is the cumulative admission-shed count.
 	Shed uint64
+	// Queued is the tier's server-side scheduler backlog, summed across
+	// replicas as of each replica's last health probe — the direct queue
+	// signal from scheduling servers, complementing InFlight (which only
+	// sees requests this client has in the air). Zero when no replica
+	// runs a scheduler.
+	Queued int
+	// Busy is the cumulative count of requests replicas refused with the
+	// scheduler's busy backpressure code; rising Busy under a healthy
+	// fleet means the tier is capacity-bound, not failing.
+	Busy uint64
 	// P99Ms is the worst per-replica rolling p99 service time (ms).
 	P99Ms float64
 }
@@ -69,6 +79,8 @@ func (c setCollector) Collect() Metrics {
 			m.Healthy++
 		}
 		m.InFlight += st.InFlight
+		m.Queued += st.QueueDepth
+		m.Busy += st.Busy
 		if st.ServiceP99Ms > m.P99Ms {
 			m.P99Ms = st.ServiceP99Ms
 		}

@@ -24,8 +24,9 @@ import (
 
 // TierStatus is one remote tier's routing view over a run: which policy
 // routed it, how much admission control shed, and every replica's
-// request/failure/expel/readmit counters. In Stats.Tiers the counters are
-// deltas over the run; from TierStatuses they are absolute.
+// request/failure/busy/expel/readmit counters plus its scraped scheduler
+// backlog. In Stats.Tiers the counters are deltas over the run; from
+// TierStatuses they are absolute.
 type TierStatus struct {
 	// Layer is the tier's position in the hierarchy (edge or cloud).
 	Layer hec.Layer
@@ -42,8 +43,11 @@ func (t TierStatus) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%v tier [%s] shed=%d", t.Layer, t.Policy, t.Shed)
 	for i, r := range t.Replicas {
-		fmt.Fprintf(&b, "\n  replica %d %s healthy=%v req=%d fail=%d expel=%d readmit=%d evict=%d",
-			i, r.Addr, r.Healthy, r.Requests, r.Failures, r.Expels, r.Readmits, r.EvictedConns)
+		fmt.Fprintf(&b, "\n  replica %d %s healthy=%v req=%d fail=%d busy=%d expel=%d readmit=%d evict=%d",
+			i, r.Addr, r.Healthy, r.Requests, r.Failures, r.Busy, r.Expels, r.Readmits, r.EvictedConns)
+		if r.QueueDepth > 0 || r.Canceled > 0 {
+			fmt.Fprintf(&b, " queue=%d canceled=%d", r.QueueDepth, r.Canceled)
+		}
 	}
 	return b.String()
 }
@@ -92,8 +96,9 @@ func TierStatuses(dev *Device) []TierStatus {
 }
 
 // tierDeltas subtracts the before snapshot from the after snapshot so a
-// run's Stats report only the routing activity that run caused. Healthy
-// and InFlight are point-in-time states and come from after as-is.
+// run's Stats report only the routing activity that run caused. Healthy,
+// InFlight and QueueDepth are point-in-time states and come from after
+// as-is.
 func tierDeltas(before, after []TierStatus) []TierStatus {
 	prev := make(map[hec.Layer]TierStatus, len(before))
 	for _, t := range before {
@@ -109,6 +114,8 @@ func tierDeltas(before, after []TierStatus) []TierStatus {
 			for i := range rs {
 				rs[i].Requests -= b.Replicas[i].Requests
 				rs[i].Failures -= b.Replicas[i].Failures
+				rs[i].Busy -= b.Replicas[i].Busy
+				rs[i].Canceled -= b.Replicas[i].Canceled
 				rs[i].Expels -= b.Replicas[i].Expels
 				rs[i].Readmits -= b.Replicas[i].Readmits
 				rs[i].EvictedConns -= b.Replicas[i].EvictedConns

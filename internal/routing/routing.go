@@ -11,7 +11,10 @@
 // ErrRemote/ErrDeadline taxonomy need no new cases. Connection-level
 // failures (transport.ErrConn) additionally mark the replica unhealthy and
 // trigger failover; application-level errors and deadline sheds do not —
-// the replica answered, so it is alive.
+// the replica answered, so it is alive. Busy refusals (transport.ErrBusy,
+// a scheduling server's explicit backpressure) sit in between: the request
+// fails over to a replica with room, but the busy one stays healthy — no
+// expel/readmit churn and no failure count, just a busy tally.
 package routing
 
 import (
@@ -108,6 +111,16 @@ type replica struct {
 	failures atomic.Uint64
 	expels   atomic.Uint64
 	readmits atomic.Uint64
+
+	// busy counts requests this set routed here that the replica's
+	// scheduler refused with the busy code — backpressure, not failure, so
+	// it is tracked apart from failures and never touches health.
+	busy atomic.Uint64
+	// queueDepth and peerCanceled are the replica's server-side backlog as
+	// of the last health probe (PingStatus piggyback); zero for replicas
+	// without a scheduler.
+	queueDepth   atomic.Int64
+	peerCanceled atomic.Uint64
 
 	// Rolling window of the last svcWindow successful request durations
 	// (client-observed wall clock, ms) — the per-replica load signal an
@@ -388,7 +401,15 @@ func (s *ReplicaSet) CheckHealth() {
 					verdict <- false
 					return
 				}
-				verdict <- pool.Ping(ctx) == nil
+				st, err := pool.PingStatus(ctx)
+				if err == nil && st.Scheduled {
+					// The probe doubles as a backlog scrape: queue depth
+					// and cumulative server-side cancels ride the hello
+					// response from scheduling replicas.
+					r.queueDepth.Store(int64(st.QueueDepth))
+					r.peerCanceled.Store(st.Canceled)
+				}
+				verdict <- err == nil
 			}()
 			select {
 			case ok := <-verdict:
@@ -458,9 +479,10 @@ func (s *ReplicaSet) choose(reps []*replica, tried []bool) int {
 }
 
 // retryable reports whether a failed attempt should fail over to another
-// replica: only connection-level failures (transport.ErrConn) are — the
-// request never got a usable answer, so another replica may still produce
-// one. Application errors pass through unretried (the replica answered;
+// replica: connection-level failures (transport.ErrConn — the request
+// never got a usable answer) and busy refusals (transport.ErrBusy — the
+// replica is healthy but at capacity; another replica may have room) are.
+// Application errors pass through unretried (the replica answered;
 // re-running a deterministic refusal elsewhere multiplies load for the
 // same answer), as do cancellation and deadline errors, local or shed by
 // a server, preserving the error taxonomy.
@@ -471,7 +493,7 @@ func retryable(ctx context.Context, err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
 	}
-	return errors.Is(err, transport.ErrConn)
+	return errors.Is(err, transport.ErrConn) || errors.Is(err, transport.ErrBusy)
 }
 
 // do runs one request through admission, policy choice, and the failover
@@ -545,7 +567,15 @@ func (s *ReplicaSet) do(ctx context.Context, call func(*transport.Pool) error) e
 			r.markHealthy()
 			return nil
 		}
-		r.failures.Add(1)
+		if errors.Is(err, transport.ErrBusy) {
+			// Busy is backpressure, not failure: the replica answered
+			// promptly that it has no capacity. It stays healthy (no expel
+			// churn) and the refusal is tallied apart from failures — the
+			// failover below routes the request to a replica with room.
+			r.busy.Add(1)
+		} else {
+			r.failures.Add(1)
+		}
 		lastErr = fmt.Errorf("routing: replica %s: %w", r.addr, err)
 		if errors.Is(err, transport.ErrConn) && !r.removed.Load() {
 			// The connection died — this replica is gone until a probe or a
@@ -760,6 +790,18 @@ type ReplicaStatus struct {
 	InFlight int
 	// Requests and Failures count attempts routed here and how many failed.
 	Requests, Failures uint64
+	// Busy counts attempts the replica's server-side scheduler refused
+	// with the busy code — backpressure rerouted elsewhere, kept apart
+	// from Failures because the replica answered and stayed healthy.
+	Busy uint64
+	// QueueDepth is the replica's server-side admission-queue occupancy as
+	// of the last health probe, and Canceled its cumulative count of
+	// requests withdrawn by client cancel frames — both zero for replicas
+	// without a server-side scheduler (or before the first probe). This is
+	// the real-backlog signal autoscaling collectors read instead of
+	// inferring load from in-flight counts alone.
+	QueueDepth int
+	Canceled   uint64
 	// Expels counts healthy→unhealthy transitions (the replica was thrown
 	// out of the rotation by a connection failure or a failed probe);
 	// Readmits counts the reverse (it answered again and rejoined). The
@@ -785,13 +827,16 @@ func (s *ReplicaSet) Status() []ReplicaStatus {
 	out := make([]ReplicaStatus, len(reps))
 	for i, r := range reps {
 		st := ReplicaStatus{
-			Addr:     r.addr,
-			Healthy:  r.healthy.Load(),
-			InFlight: int(r.inflight.Load()),
-			Requests: r.requests.Load(),
-			Failures: r.failures.Load(),
-			Expels:   r.expels.Load(),
-			Readmits: r.readmits.Load(),
+			Addr:       r.addr,
+			Healthy:    r.healthy.Load(),
+			InFlight:   int(r.inflight.Load()),
+			Requests:   r.requests.Load(),
+			Failures:   r.failures.Load(),
+			Expels:     r.expels.Load(),
+			Readmits:   r.readmits.Load(),
+			Busy:       r.busy.Load(),
+			QueueDepth: int(r.queueDepth.Load()),
+			Canceled:   r.peerCanceled.Load(),
 		}
 		st.ServiceP50Ms, st.ServiceP99Ms = r.servicePercentiles()
 		r.mu.Lock()

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SLO classes, derived server-side from the operation (there is no wire
+// field): interactive single-window detects outrank bulk batch scoring
+// under the SLOClass policy, and tie-break identically everywhere else.
+const (
+	ClassInteractive = 0
+	ClassBulk        = 1
+)
+
+// Item is the scheduling view of one queued request: the absolute
+// deadline carried by the wire header (zero = no deadline), the SLO
+// class, and an admission sequence number for FIFO ordering and
+// tie-breaking.
+type Item struct {
+	Deadline time.Time
+	Class    int
+	Seq      uint64
+}
+
+// Policy is a queue discipline: Less reports whether a should be served
+// before b. Policies must be safe for concurrent use; the built-ins are
+// stateless.
+type Policy interface {
+	Name() string
+	Less(a, b Item) bool
+}
+
+// FIFO serves in admission order — the baseline discipline, equivalent to
+// the accept-order queueing the scheduler replaces, but with the global
+// cap and shed-at-dequeue applied.
+type FIFO struct{}
+
+func (FIFO) Name() string        { return "fifo" }
+func (FIFO) Less(a, b Item) bool { return a.Seq < b.Seq }
+
+// EDF serves the earliest absolute deadline first; requests without a
+// deadline run last (they have nothing to miss), and equal deadlines fall
+// back to admission order.
+type EDF struct{}
+
+func (EDF) Name() string { return "edf" }
+func (EDF) Less(a, b Item) bool {
+	switch {
+	case a.Deadline.IsZero() && b.Deadline.IsZero():
+		return a.Seq < b.Seq
+	case a.Deadline.IsZero():
+		return false
+	case b.Deadline.IsZero():
+		return true
+	case !a.Deadline.Equal(b.Deadline):
+		return a.Deadline.Before(b.Deadline)
+	}
+	return a.Seq < b.Seq
+}
+
+// SLOClass serves lower classes strictly first (interactive before bulk)
+// and orders within a class by EDF.
+type SLOClass struct{}
+
+func (SLOClass) Name() string { return "slo" }
+func (SLOClass) Less(a, b Item) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return EDF{}.Less(a, b)
+}
+
+// ReverseEDF serves the latest deadline first and deadline-less requests
+// before everything — the pathological validation policy: if the
+// scheduler's ordering matters at all, this must be measurably worse than
+// EDF under overload (the H14 methodology the routing plane already
+// uses).
+type ReverseEDF struct{}
+
+func (ReverseEDF) Name() string { return "reverse-edf" }
+func (ReverseEDF) Less(a, b Item) bool {
+	switch {
+	case a.Deadline.IsZero() && b.Deadline.IsZero():
+		return a.Seq < b.Seq
+	case a.Deadline.IsZero():
+		return true
+	case b.Deadline.IsZero():
+		return false
+	case !a.Deadline.Equal(b.Deadline):
+		return a.Deadline.After(b.Deadline)
+	}
+	return a.Seq < b.Seq
+}
+
+// ParsePolicy maps a policy name (as accepted by hecnode -sched and
+// examples/cluster -sched) to its implementation.
+func ParsePolicy(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "fifo":
+		return FIFO{}, nil
+	case "edf":
+		return EDF{}, nil
+	case "slo":
+		return SLOClass{}, nil
+	case "reverse-edf":
+		return ReverseEDF{}, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q (want fifo | edf | slo | reverse-edf)", name)
+	}
+}

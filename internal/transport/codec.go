@@ -147,6 +147,11 @@ func (binaryCodec) AppendResponse(dst []byte, resp *DetectResponse) ([]byte, err
 	if resp.Model != nil {
 		return dst, fmt.Errorf("transport: binary codec cannot carry a model snapshot")
 	}
+	if resp.Sched != nil {
+		// Scheduling backlog rides only on hello responses, which always
+		// travel as gob; refusing it here keeps the binary layout frozen.
+		return dst, fmt.Errorf("transport: binary codec cannot carry scheduler info")
+	}
 	dst = append(dst, CodecVersionBinary)
 	dst = appendU64(dst, resp.ID)
 	dst = appendVerdict(dst, resp.Verdict)

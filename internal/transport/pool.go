@@ -230,15 +230,24 @@ func (p *Pool) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
 // connection, redialing evicted slots on the way — so a Ping after an
 // outage both probes the server and heals the pool.
 func (p *Pool) Ping(ctx context.Context) error {
+	_, err := p.PingStatus(ctx)
+	return err
+}
+
+// PingStatus is Ping returning the server's scheduling backlog (see
+// Client.PingStatus): health probes double as backlog collectors for
+// load-aware routing and autoscaling.
+func (p *Pool) PingStatus(ctx context.Context) (PeerStatus, error) {
 	c, err := p.pick(ctx)
 	if err != nil {
-		return err
+		return PeerStatus{}, err
 	}
-	if err := c.Ping(ctx); err != nil {
+	st, err := c.PingStatus(ctx)
+	if err != nil {
 		p.evictOnErr(c, err)
-		return err
+		return PeerStatus{}, err
 	}
-	return nil
+	return st, nil
 }
 
 // Close closes every pooled connection, returning the first error.

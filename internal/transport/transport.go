@@ -31,6 +31,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/sched"
 )
 
 // ErrRemote marks failures reported by — or on the way to — a remote peer:
@@ -47,6 +48,14 @@ var ErrRemote = errors.New("transport: remote failure")
 // replica is healthy but refused the request". Every ErrConn error also
 // wraps ErrRemote.
 var ErrConn = errors.New("transport: connection failure")
+
+// ErrBusy marks the subset of ErrRemote failures where the peer refused
+// admission because its scheduler's queue was full (the `busy` response
+// code). The replica is healthy — it answered promptly, it just has no
+// capacity — so routing layers reroute the request to another replica
+// without burning health/expel accounting, and pools keep the connection.
+// ErrBusy wraps ErrRemote but never ErrConn.
+var ErrBusy = errors.New("transport: server busy")
 
 // maxMessageBytes bounds a single message; a 128×18 float64 window is
 // ~18 KB and the largest model snapshot (AE-Cloud) ~4.3 MB, so 16 MB leaves
@@ -87,6 +96,15 @@ const (
 	// that predate OpHello answer "unknown op" — a well-formed response, so
 	// the client simply stays on gob and the ping still counts as alive.
 	OpHello
+	// OpCancel withdraws an earlier request on the same connection,
+	// identified by TargetID: a scheduling server frees the queued or
+	// running capacity immediately instead of waiting for the deadline
+	// header to catch it. The frame is one-way — the server never responds
+	// to it (the canceled request itself gets no response either; the
+	// client already left). Peers that predate OpCancel answer "unknown
+	// op" with the cancel frame's own ID, which matches no pending call
+	// and is silently dropped — so cancel needs no negotiation.
+	OpCancel
 )
 
 // DetectRequest is the client→server message. ID is echoed back in the
@@ -108,6 +126,9 @@ type DetectRequest struct {
 	// CodecVersion is the highest codec version the sender speaks
 	// (OpHello only; zero elsewhere).
 	CodecVersion uint8
+	// TargetID is the ID of the request an OpCancel frame withdraws
+	// (OpCancel only; zero elsewhere). Gob-additive: old peers ignore it.
+	TargetID uint64
 }
 
 // Response codes carried in DetectResponse.Code, distinguishing error
@@ -118,6 +139,10 @@ const (
 	// already passed when the server picked it up. Clients surface it as
 	// context.DeadlineExceeded.
 	CodeExpired = "expired"
+	// CodeBusy marks a request refused at admission because the server's
+	// scheduler queue was full. Clients surface it as ErrBusy; routing
+	// layers reroute to another replica without health churn.
+	CodeBusy = "busy"
 )
 
 // DetectResponse is the server→client message. Err is non-empty when the
@@ -144,6 +169,27 @@ type DetectResponse struct {
 	// CodecVersion is the codec the server chose for this connection's hot
 	// RPCs (OpHello responses only; zero elsewhere).
 	CodecVersion uint8
+	// Sched is the server's scheduling backlog, piggybacked on OpHello
+	// responses from servers running a scheduler (nil from everyone else —
+	// including every pre-scheduler peer, since the field is gob-additive
+	// and hello frames always travel as gob).
+	Sched *SchedInfo
+}
+
+// SchedInfo is a scheduling server's backlog snapshot as carried on
+// OpHello responses: the live queue depth plus the scheduler's cumulative
+// busy/expired/canceled counters, so health probes double as backlog
+// collectors for load-aware routing and autoscaling.
+type SchedInfo struct {
+	// QueueDepth is the number of requests waiting in the admission queue
+	// at the time of the hello.
+	QueueDepth int
+	// Busy counts arrivals refused with the busy code, Expired entries
+	// shed at dequeue past their deadline, Canceled cancels that found
+	// their target — all cumulative for the server's lifetime.
+	Busy     uint64
+	Expired  uint64
+	Canceled uint64
 }
 
 // ModelSnapshot is a detector shipped over the wire: the nn.Snapshot of its
@@ -276,6 +322,13 @@ type ServerOptions struct {
 	// CodecVersionGob makes the server behave like a pre-binary build,
 	// which is how the compatibility matrix is tested without one.
 	MaxCodecVersion uint8
+	// Sched, if non-nil, puts the node's detection work under a server-side
+	// scheduler: a global concurrency limit with a bounded, policy-ordered
+	// admission queue (busy responses when full, expired entries shed at
+	// dequeue) and OpCancel support. Nil keeps the legacy behaviour —
+	// every request runs immediately, bounded only by the per-connection
+	// in-flight cap.
+	Sched *sched.Config
 }
 
 // Server hosts one layer's detector over TCP. Each accepted connection is
@@ -288,6 +341,12 @@ type Server struct {
 	execMs   func(frames int) float64
 	model    *ModelSnapshot
 	maxCodec uint8
+
+	// sched, when non-nil, gates every detection request through the
+	// per-node scheduler; connSeq numbers accepted connections so cancel
+	// keys (connection, request ID) are unique across clients.
+	sched   *sched.Scheduler
+	connSeq atomic.Uint64
 
 	// Fault-injection hooks for scenario testing (see SetFaultDelay and
 	// Partition); both zero in production.
@@ -316,13 +375,20 @@ func ServeWith(addr string, det anomaly.Detector, opt ServerOptions) (*Server, e
 	if maxCodec == 0 {
 		maxCodec = CodecVersionBinary
 	}
+	var schd *sched.Scheduler
+	if opt.Sched != nil {
+		var err error
+		if schd, err = sched.New(*opt.Sched); err != nil {
+			return nil, fmt.Errorf("transport: %w", err)
+		}
+	}
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		detector: det, execMs: opt.ExecMs, model: opt.Model, maxCodec: maxCodec,
-		lis: lis, conns: make(map[net.Conn]struct{}),
+		sched: schd, lis: lis, conns: make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -416,6 +482,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		slots    = make(chan struct{}, maxInFlightPerConn)
 		rbuf     []byte // frame read buffer, owned by this loop
 	)
+	connID := s.connSeq.Add(1)
 	defer func() {
 		inflight.Wait()
 		s.mu.Lock()
@@ -438,6 +505,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // undecodable frame; the stream position is lost
 		}
+		if req.Op == OpCancel {
+			// One-way frame, handled inline on the read loop without taking
+			// an in-flight slot: freeing capacity must not itself queue
+			// behind the saturation it is trying to relieve. Without a
+			// scheduler there is nothing to free — the request is already
+			// running — so the frame is a no-op either way, never an error.
+			if s.sched != nil {
+				s.sched.Cancel(sched.Key{Conn: connID, Req: req.TargetID})
+			}
+			continue
+		}
 		slots <- struct{}{} // backpressure: stop reading when saturated
 		inflight.Add(1)
 		go func() {
@@ -445,22 +523,17 @@ func (s *Server) serveConn(conn net.Conn) {
 				<-slots
 				inflight.Done()
 			}()
-			// Straggler injection: sleep the fault delay outside the
-			// measured processing time, so clients account it as network/
-			// queueing time — and while sleeping, the request occupies an
-			// in-flight slot, which is what lets load-aware routing see the
-			// straggler. The ping/negotiation op stays fast: slow ≠ dead.
-			if d := s.faultDelay.Load(); d > 0 && req.Op != OpHello {
-				time.Sleep(time.Duration(d))
+			resp, write := s.process(connID, req)
+			if !write {
+				return // canceled: nobody is waiting for a response
 			}
-			resp := s.handle(req)
 			// Respond in the request's codec: a peer only sends binary
 			// frames once negotiation proved both sides decode them. Model
-			// responses always travel as gob (the binary codec refuses
-			// them), which is fine — OpFetchModel requests arrive as gob.
+			// and hello responses always travel as gob (the binary codec
+			// refuses them), which is fine — those requests arrive as gob.
 			wmu.Lock()
 			var encErr error
-			if binaryReq && resp.Model == nil {
+			if binaryReq && resp.Model == nil && resp.Sched == nil {
 				wbuf, encErr = BinaryCodec.AppendResponse(wbuf[:0], resp)
 				if encErr == nil {
 					encErr = writeFrame(conn, wbuf, true)
@@ -478,6 +551,72 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}()
 	}
+}
+
+// process runs one decoded request through admission (when a scheduler is
+// configured) and the handler, reporting whether a response should be
+// written — canceled requests get none: the client already withdrew its
+// pending slot, so a response would just be dropped.
+func (s *Server) process(connID uint64, req *DetectRequest) (resp *DetectResponse, write bool) {
+	var grant *sched.Grant
+	if s.sched != nil && (req.Op == OpDetect || req.Op == OpDetectBatch) {
+		var deadline time.Time
+		if req.DeadlineUnixMicro > 0 {
+			deadline = time.UnixMicro(req.DeadlineUnixMicro)
+		}
+		class := sched.ClassInteractive
+		if req.Op == OpDetectBatch {
+			class = sched.ClassBulk
+		}
+		g, err := s.sched.Acquire(sched.Key{Conn: connID, Req: req.ID}, deadline, class)
+		switch {
+		case err == nil:
+			grant = g
+			defer grant.Done()
+		case errors.Is(err, sched.ErrBusy):
+			return &DetectResponse{ID: req.ID, Code: CodeBusy,
+				Err: "server at capacity: scheduler queue full"}, true
+		case errors.Is(err, sched.ErrExpired):
+			return &DetectResponse{ID: req.ID, Code: CodeExpired,
+				Err: "deadline expired while queued; work shed"}, true
+		case errors.Is(err, sched.ErrCanceled):
+			return nil, false
+		default:
+			return &DetectResponse{ID: req.ID, Err: err.Error()}, true
+		}
+	}
+	// Straggler injection: sleep the fault delay outside the measured
+	// processing time, so clients account it as network/queueing time — and
+	// while sleeping, the request occupies an in-flight slot, which is what
+	// lets load-aware routing see the straggler. The ping/negotiation op
+	// stays fast: slow ≠ dead. Under a scheduler the sleep is interruptible
+	// by cancel — the whole point of OpCancel is not holding capacity for a
+	// caller that already left.
+	if d := s.faultDelay.Load(); d > 0 && req.Op != OpHello {
+		if grant != nil {
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-grant.Canceled():
+				return nil, false
+			}
+		} else {
+			time.Sleep(time.Duration(d))
+		}
+	}
+	resp = s.handle(req)
+	if grant != nil && grant.IsCanceled() {
+		return nil, false
+	}
+	return resp, true
+}
+
+// SchedStats snapshots the server's scheduler; ok is false when the
+// server runs without one.
+func (s *Server) SchedStats() (st sched.Stats, ok bool) {
+	if s.sched == nil {
+		return sched.Stats{}, false
+	}
+	return s.sched.Stats(), true
 }
 
 func (s *Server) handle(req *DetectRequest) *DetectResponse {
@@ -541,7 +680,20 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 		if v < CodecVersionGob {
 			v = CodecVersionGob
 		}
-		return &DetectResponse{ID: req.ID, CodecVersion: v}
+		resp := &DetectResponse{ID: req.ID, CodecVersion: v}
+		if s.sched != nil {
+			// Piggyback the scheduling backlog on the hello so health
+			// probes double as backlog collectors. Hello responses always
+			// ride gob, so the pointer field costs the binary codec nothing.
+			st := s.sched.Stats()
+			resp.Sched = &SchedInfo{
+				QueueDepth: st.Queued,
+				Busy:       st.Busy,
+				Expired:    st.Expired,
+				Canceled:   st.Canceled,
+			}
+		}
+		return resp
 	default:
 		return &DetectResponse{ID: req.ID, Err: fmt.Sprintf("unknown op %d", req.Op)}
 	}
@@ -901,8 +1053,40 @@ func (c *Client) do(ctx context.Context, req *DetectRequest) (*DetectResponse, e
 			delete(c.pending, req.ID)
 		}
 		c.mu.Unlock()
+		// The pending slot is withdrawn; now tell the server, so a
+		// scheduling peer frees the queued/running capacity immediately
+		// instead of discovering a stale deadline at dequeue.
+		if req.Op == OpDetect || req.Op == OpDetectBatch {
+			c.sendCancel(req.ID)
+		}
 		return nil, fmt.Errorf("transport: request abandoned: %w", ctx.Err())
 	}
+}
+
+// sendCancel ships a one-way OpCancel frame for an abandoned request. The
+// frame consumes a fresh request ID that is never registered as pending:
+// an old peer that answers it with "unknown op" produces a response whose
+// ID matches no waiter, which the read loop silently drops — so cancel
+// works against every peer generation without negotiation. Best-effort:
+// write errors are ignored (a dead connection has no capacity to free,
+// and the read loop surfaces it on the next real call). Cancel frames
+// always ride gob; the binary codec does not carry the op.
+func (c *Client) sendCancel(targetID uint64) {
+	c.mu.Lock()
+	if c.pending == nil {
+		c.mu.Unlock()
+		return // connection already failed
+	}
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	c.wmu.Lock()
+	var err error
+	c.encBuf, err = GobCodec.AppendRequest(c.encBuf[:0], &DetectRequest{ID: id, Op: OpCancel, TargetID: targetID})
+	if err == nil {
+		_ = writeFrame(c.conn, c.encBuf, false)
+	}
+	c.wmu.Unlock()
 }
 
 // timedDo runs one request under the client's delay-emulation protocol: the
@@ -937,13 +1121,18 @@ func (c *Client) timedDo(ctx context.Context, req *DetectRequest) (*DetectRespon
 }
 
 // remoteError converts a server-side error response into a client error:
-// generic failures wrap ErrRemote, and shed-on-deadline responses
+// generic failures wrap ErrRemote; shed-on-deadline responses
 // (CodeExpired) additionally satisfy errors.Is(err,
 // context.DeadlineExceeded) so deadline handling is uniform whether the
-// deadline tripped locally or at the server.
+// deadline tripped locally or at the server; admission refusals
+// (CodeBusy) additionally satisfy errors.Is(err, ErrBusy) so routing
+// layers reroute without health churn.
 func remoteError(op string, resp *DetectResponse) error {
 	if resp.Code == CodeExpired {
 		return fmt.Errorf("transport: %s: %s: %w (%w)", op, resp.Err, context.DeadlineExceeded, ErrRemote)
+	}
+	if resp.Code == CodeBusy {
+		return fmt.Errorf("transport: %s: %s: %w (%w)", op, resp.Err, ErrBusy, ErrRemote)
 	}
 	return fmt.Errorf("transport: %s: %s (%w)", op, resp.Err, ErrRemote)
 }
@@ -1055,8 +1244,43 @@ func (c *Client) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) 
 // loops both work. Health checkers use it instead of a detection RPC so a
 // probe never costs the tier real compute.
 func (c *Client) Ping(ctx context.Context) error {
-	_, err := c.do(ctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionBinary})
+	_, err := c.PingStatus(ctx)
 	return err
+}
+
+// PeerStatus is what a liveness probe learns about a peer beyond "it
+// answers": whether it runs a server-side scheduler, and the scheduler's
+// backlog if so. Peers without a scheduler — including every
+// pre-scheduler build — report the zero value.
+type PeerStatus struct {
+	// Scheduled reports that the peer runs a server-side scheduler and the
+	// remaining fields are meaningful.
+	Scheduled bool
+	// QueueDepth is the peer's admission-queue occupancy at probe time;
+	// Busy/Expired/Canceled are its cumulative scheduler counters (see
+	// SchedInfo).
+	QueueDepth int
+	Busy       uint64
+	Expired    uint64
+	Canceled   uint64
+}
+
+// PingStatus is Ping returning the peer's scheduling backlog as
+// piggybacked on the hello response, so one probe answers both "alive?"
+// and "how loaded?". The same compatibility contract as Ping: any
+// well-formed response counts as alive.
+func (c *Client) PingStatus(ctx context.Context) (PeerStatus, error) {
+	resp, err := c.do(ctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionBinary})
+	if err != nil || resp.Sched == nil {
+		return PeerStatus{}, err
+	}
+	return PeerStatus{
+		Scheduled:  true,
+		QueueDepth: resp.Sched.QueueDepth,
+		Busy:       resp.Sched.Busy,
+		Expired:    resp.Sched.Expired,
+		Canceled:   resp.Sched.Canceled,
+	}, nil
 }
 
 // Close closes the connection; pending calls fail and Broken reports true.

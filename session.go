@@ -515,15 +515,18 @@ func (s *Session) Scheme() Scheme { return s.scheme }
 
 // TierStatus re-exports the cluster runtime's per-tier routing report: the
 // replica-choice policy, admission sheds, and per-replica request/failure/
-// expel/readmit counters.
+// busy/expel/readmit counters plus each replica's scraped server-side
+// scheduler backlog (queue depth, peer cancel count).
 type TierStatus = cluster.TierStatus
 
 // TierStatus snapshots the routing state of every tier this session
 // reaches through a replica set (or any remote exposing routing
-// introspection): which replicas are in the rotation, how requests and
-// failures distributed across them, and the expel/readmit churn the
-// health checker observed. Counters are absolute for the session's
-// lifetime. Tiers served in-process or over a plain pool report nothing.
+// introspection): which replicas are in the rotation, how requests,
+// failures and busy refusals distributed across them, each replica's
+// scheduler backlog as of its last health probe, and the expel/readmit
+// churn the health checker observed. Counters are absolute for the
+// session's lifetime. Tiers served in-process or over a plain pool report
+// nothing.
 func (s *Session) TierStatus() []TierStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
