@@ -18,6 +18,9 @@
 //	hecbench -sched BENCH.json                # scheduler queue disciplines on
 //	                                          # the deadline-overload burst
 //	                                          # (EDF vs FIFO vs pathological)
+//	hecbench -dist BENCH.json                 # model distribution: binary
+//	                                          # tensor codec vs legacy gob,
+//	                                          # one-tensor deltas vs full
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		bench   = flag.String("bench-json", "", "write a seq-vs-batched perf snapshot (BENCH_N.json style) to this path ('-' = stdout) and exit")
 		roof    = flag.String("roofline", "", "write a kernel roofline snapshot (BENCH_N.json style) to this path ('-' = stdout) and exit")
 		schedJ  = flag.String("sched", "", "write a scheduler queue-discipline comparison (deadline-overload burst, BENCH_N.json style) to this path ('-' = stdout) and exit")
+		distJ   = flag.String("dist", "", "write a model-distribution comparison (binary codec vs gob, delta vs full, BENCH_N.json style) to this path ('-' = stdout) and exit")
 	)
 	flag.Parse()
 
@@ -61,6 +65,13 @@ func main() {
 	}
 	if *schedJ != "" {
 		if err := runSchedBench(*schedJ); err != nil {
+			fmt.Fprintln(os.Stderr, "hecbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *distJ != "" {
+		if err := runDistBench(*distJ, *fast); err != nil {
 			fmt.Fprintln(os.Stderr, "hecbench:", err)
 			os.Exit(1)
 		}

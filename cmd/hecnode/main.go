@@ -11,13 +11,18 @@
 //     RPC) — so a fleet trains exactly once.
 //
 // Every node serves its own model snapshot to peers, and -save writes the
-// artifact to disk for later -load runs.
+// artifact to disk for later -load runs. A -fetch node can additionally
+// -watch the peer: it polls the peer's model version (a cheap
+// content-address probe) and, whenever the peer rolls to a new model,
+// pulls the changed tensors as a delta update and hot-swaps its serving
+// detector with zero restarts and zero dropped requests.
 //
 // Usage:
 //
 //	hecnode -layer edge -data univariate -addr 127.0.0.1:7101 -save edge.model
 //	hecnode -layer edge -addr 127.0.0.1:7201 -load edge.model
 //	hecnode -layer edge -addr 127.0.0.1:7301 -fetch 127.0.0.1:7101
+//	hecnode -layer edge -addr 127.0.0.1:7401 -fetch 127.0.0.1:7101 -watch 5s
 package main
 
 import (
@@ -51,6 +56,7 @@ func main() {
 		save   = flag.String("save", "", "write the trained model artifact to this file")
 		load   = flag.String("load", "", "load the model artifact from this file instead of training")
 		fetch  = flag.String("fetch", "", "fetch the model from a running peer node instead of training")
+		watch  = flag.Duration("watch", 0, "with -fetch: poll the peer at this interval and hot-swap refreshed models (delta updates, zero restarts); 0 disables")
 		drain  = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget: finish in-flight requests for up to this long on SIGTERM")
 		orphan = flag.Bool("exit-with-parent", false, "drain and exit when the spawning process dies (for autoscaler-spawned replicas)")
 
@@ -59,19 +65,25 @@ func main() {
 		schedQueue  = flag.Int("sched-queue", 64, "scheduler queue capacity beyond the concurrency limit; excess requests get a busy response; only with -sched")
 	)
 	flag.Parse()
-	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch, *drain, *orphan, *schedPolicy, *schedLimit, *schedQueue); err != nil {
+	if err := run(*layer, *data, *addr, *seed, *save, *load, *fetch, *watch, *drain, *orphan, *schedPolicy, *schedLimit, *schedQueue); err != nil {
 		fmt.Fprintln(os.Stderr, "hecnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(layerName, data, addr string, seed int64, save, load, fetch string, drain time.Duration, orphan bool, schedPolicy string, schedLimit, schedQueue int) error {
+func run(layerName, data, addr string, seed int64, save, load, fetch string, watch, drain time.Duration, orphan bool, schedPolicy string, schedLimit, schedQueue int) error {
 	l, err := parseLayer(layerName)
 	if err != nil {
 		return err
 	}
 	if load != "" && fetch != "" {
 		return fmt.Errorf("-load and -fetch are mutually exclusive")
+	}
+	if watch < 0 {
+		return fmt.Errorf("-watch must be ≥ 0")
+	}
+	if watch > 0 && fetch == "" {
+		return fmt.Errorf("-watch needs -fetch: there is no peer to watch")
 	}
 	var schedCfg *sched.Config
 	if schedPolicy != "" {
@@ -159,6 +171,13 @@ func run(layerName, data, addr string, seed int64, save, load, fetch string, dra
 		fmt.Printf("hecnode: %s (%s) serving on %s\n", det.Name(), l, srv.Addr())
 	}
 
+	if watch > 0 {
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go watchPeer(watchDone, fetch, l, srv, snap, watch)
+		fmt.Printf("hecnode: watching %s every %v for model updates\n", fetch, watch)
+	}
+
 	// Graceful drain, so rolling this replica does not surface spurious
 	// remote errors to clients: the first signal stops accepting and lets
 	// in-flight requests finish (their responses still reach the wire, and
@@ -194,6 +213,70 @@ func run(layerName, data, addr string, seed int64, save, load, fetch string, dra
 	}
 	fmt.Println("hecnode: drained cleanly")
 	return nil
+}
+
+// watchPeer is the poll-and-swap loop behind -watch: every interval it
+// probes the peer's model version, and only when the version changed does
+// it pull the update — a delta of the changed tensors when possible — and
+// hot-swap the serving detector through Server.UpdateModel. In-flight
+// requests finish on the old model; nothing restarts. A dead peer or a
+// failed refresh costs one log line and the next tick retries (the client
+// redials if its connection broke).
+func watchPeer(done <-chan struct{}, peer string, l hec.Layer, srv *transport.Server, base *transport.ModelSnapshot, every time.Duration) {
+	var cli *transport.Client
+	defer func() {
+		if cli != nil {
+			cli.Close()
+		}
+	}()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		if cli != nil && cli.Broken() {
+			cli.Close()
+			cli = nil
+		}
+		if cli == nil {
+			c, err := transport.Dial(peer, 0)
+			if err != nil {
+				fmt.Printf("hecnode: watch: peer %s unreachable (%v); will retry\n", peer, err)
+				continue
+			}
+			cli = c
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		snap, upToDate, err := cli.RefreshModelContext(ctx, base)
+		cancel()
+		if err != nil {
+			fmt.Printf("hecnode: watch: refresh from %s: %v\n", peer, err)
+			continue
+		}
+		if upToDate {
+			continue
+		}
+		det, recurrent, err := cluster.RestoreDetector(snap)
+		if err != nil {
+			fmt.Printf("hecnode: watch: refreshed model unusable: %v\n", err)
+			continue
+		}
+		execMs, err := hec.DefaultTopology().ExecTimeFunc(l, det, recurrent)
+		if err != nil {
+			fmt.Printf("hecnode: watch: no exec-time model for refreshed detector: %v\n", err)
+			continue
+		}
+		if err := srv.UpdateModel(det, execMs, snap); err != nil {
+			fmt.Printf("hecnode: watch: hot-swap refused: %v\n", err)
+			continue
+		}
+		base = snap
+		fmt.Printf("hecnode: watch: hot-swapped to model version %.8s from %s (zero restarts)\n",
+			srv.ModelVersion(), peer)
+	}
 }
 
 func parseLayer(s string) (hec.Layer, error) {

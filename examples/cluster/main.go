@@ -10,7 +10,9 @@
 // The demo exercises all five paper schemes plus a deliberately bad
 // "pathological" policy (the trained policy's least-preferred layer) to
 // validate that the live metrics can tell a good policy from a bad one,
-// then kills an edge replica mid-stream to demonstrate transparent
+// then retrains the edge detector mid-stream and pushes it to the live
+// replicas as a content-addressed delta update (zero dropped windows, zero
+// restarts), kills an edge replica mid-stream to demonstrate transparent
 // failover, and finishes with a serialized-vs-pipelined transport
 // comparison.
 //
@@ -286,6 +288,11 @@ func run(ctx context.Context, devices, rounds, scale, poolSize, replicas int, po
 	fmt.Println("\n(Pathological routes every window to the policy's least-preferred layer;")
 	fmt.Println(" healthy live metrics must show it losing to Adaptive on delay and reward.)")
 
+	if len(edgeSrvs) > 0 {
+		if err := distributionDemo(ctx, dev, edgeSet, edgeSrvs, testSamples); err != nil {
+			return err
+		}
+	}
 	if len(edgeSrvs) > 1 {
 		if err := failoverDemo(ctx, dev, edgeSet, edgeSrvs[0], testSamples); err != nil {
 			return err
@@ -445,6 +452,125 @@ func runAutoscale(ctx context.Context, dev *cluster.Device, cloudSet *routing.Re
 	}
 	fmt.Printf("spike absorbed: %d windows, replicas 1→%d→%d, %d scale-ups / %d scale-downs, zero dropped windows\n",
 		fs.Total.Windows, st.HighWater, cloudSet.Size(), st.ScaleUps, st.ScaleDowns)
+	return nil
+}
+
+// distributionDemo is the live model-distribution exercise: while a stream
+// of edge-routed windows is in flight, the "cloud tier" retrains the edge
+// detector (a recalibrated output bias plus a cranked detection threshold)
+// and pushes it to every live edge replica with an atomic hot swap — no
+// process restarts, and not a single window drops. A device that fetched
+// the old model then catches up with a version probe + one-tensor delta
+// instead of re-downloading the snapshot, and the refreshed model is
+// observable: the cranked threshold flips the post-swap edge verdict.
+func distributionDemo(ctx context.Context, dev *cluster.Device, edgeSet *routing.ReplicaSet, edgeSrvs []*transport.Server, samples []hec.Sample) error {
+	// A device joins the fleet: full chunked fetch of the current model.
+	base, _, err := edgeSet.RefreshModelContext(ctx, nil)
+	if err != nil {
+		return fmt.Errorf("distribution demo: initial fetch: %w", err)
+	}
+	fullPayload, err := transport.EncodeModel(base, nil)
+	if err != nil {
+		return err
+	}
+	baseMan, err := transport.ManifestOf(base)
+	if err != nil {
+		return err
+	}
+
+	const workers, perWorker = 4, 25
+	fmt.Printf("\ndistribution demo: %d workers stream %d edge windows each; retraining mid-stream\n",
+		workers, perWorker)
+	var (
+		wg       sync.WaitGroup
+		detected atomic.Int64
+		firstErr = make(chan error, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := dev.Run(ctx, cluster.SchemeEdge, samples[(w*perWorker+i)%len(samples)].Frames); err != nil {
+					firstErr <- fmt.Errorf("window %d/%d: %w", w, i, err)
+					return
+				}
+				detected.Add(1)
+			}
+		}(w)
+	}
+	streamDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(streamDone)
+	}()
+
+	// Wait until the stream is provably mid-flight, then roll the model:
+	// nudge the output bias (the retrained tensor) and crank the detection
+	// threshold so the swap is observable as a verdict flip.
+	next, err := transport.DecodeModel(fullPayload)
+	if err != nil {
+		return err
+	}
+	lastTensor := len(next.Weights.Values) - 1
+	for i := range next.Weights.Values[lastTensor] {
+		next.Weights.Values[lastTensor][i] += 1e-3
+	}
+	next.Scorer.Threshold = 1e18
+	retrained, _, err := cluster.RestoreDetector(next)
+	if err != nil {
+		return err
+	}
+waitRoll:
+	for detected.Load() < workers*perWorker/4 {
+		select {
+		case <-streamDone:
+			break waitRoll
+		case <-time.After(time.Millisecond):
+		}
+	}
+	for _, srv := range edgeSrvs {
+		if err := srv.UpdateModel(retrained, nil, next); err != nil {
+			return fmt.Errorf("distribution demo: pushing model to %s: %w", srv.Addr(), err)
+		}
+	}
+	<-streamDone
+	close(firstErr)
+	if err := <-firstErr; err != nil {
+		return fmt.Errorf("distribution demo dropped a window: %w", err)
+	}
+
+	// The device catches up: version probe, then a delta carrying only the
+	// changed tensor, hash-verified against the fleet's advertised version.
+	refreshed, upToDate, err := edgeSet.RefreshModelContext(ctx, base)
+	if err != nil || upToDate {
+		return fmt.Errorf("distribution demo: delta refresh: upToDate=%v err=%v", upToDate, err)
+	}
+	man, err := transport.ManifestOf(refreshed)
+	if err != nil {
+		return err
+	}
+	if got := edgeSrvs[0].ModelVersion(); man.Version != got {
+		return fmt.Errorf("distribution demo: refreshed model hashes to %.8s, fleet serves %.8s", man.Version, got)
+	}
+	want := man.Diff(baseMan)
+	deltaPayload, err := transport.EncodeModel(refreshed, want)
+	if err != nil {
+		return err
+	}
+	out, err := dev.Run(ctx, cluster.SchemeEdge, samples[0].Frames)
+	if err != nil {
+		return err
+	}
+	if !out.Verdict.Anomaly {
+		return fmt.Errorf("distribution demo: cranked threshold did not flip the post-swap verdict")
+	}
+	fmt.Printf("  %d/%d windows detected during the roll, zero dropped, zero restarts\n",
+		detected.Load(), workers*perWorker)
+	fmt.Printf("  version %.8s → %.8s pushed to %d live replicas; device caught up with a\n",
+		baseMan.Version, man.Version, len(edgeSrvs))
+	fmt.Printf("  %d-tensor delta: %d B vs %d B full (%.1f× less on the wire); verdict flip confirms the swap\n",
+		len(want), len(deltaPayload), len(fullPayload), float64(len(fullPayload))/float64(len(deltaPayload)))
 	return nil
 }
 

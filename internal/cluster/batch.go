@@ -35,20 +35,21 @@ type BatchRemote interface {
 // to per-window calls (their network times sum).
 func (d *Device) detectBatchAt(ctx context.Context, l hec.Layer, windows [][][]float64) ([]anomaly.Verdict, []float64, float64, error) {
 	if l == hec.LayerIoT {
-		if d.Local == nil {
+		local, execMs := d.localState()
+		if local == nil {
 			return nil, nil, 0, fmt.Errorf("cluster: device has no local detector")
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, nil, 0, fmt.Errorf("cluster: local batch detection abandoned: %w", err)
 		}
-		vs, err := anomaly.DetectAll(d.Local, windows)
+		vs, err := anomaly.DetectAll(local, windows)
 		if err != nil {
 			return nil, nil, 0, fmt.Errorf("cluster: local batch detection: %w", err)
 		}
 		execEach := make([]float64, len(windows))
-		if d.LocalExecMs != nil {
+		if execMs != nil {
 			for i, w := range windows {
-				execEach[i] = d.LocalExecMs(len(w))
+				execEach[i] = execMs(len(w))
 			}
 		}
 		return vs, execEach, 0, nil

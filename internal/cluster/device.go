@@ -18,6 +18,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/anomaly"
 	"repro/internal/features"
@@ -111,9 +112,13 @@ func ParseScheme(name string) (Scheme, error) {
 // Device is one live IoT node: a local detector plus connections to the
 // higher layers and the trained routing policy. A Device is stateless per
 // call and safe for concurrent use (detector and policy inference are
-// read-only; remotes are concurrency-safe).
+// read-only; remotes are concurrency-safe). The one mutable piece is the
+// local detector, which SwapLocal can replace atomically while windows are
+// streaming — the hot-swap half of model distribution.
 type Device struct {
-	// Local is the IoT-layer detector.
+	// Local is the IoT-layer detector. SwapLocal supersedes it at runtime
+	// without mutating the field, so construction-time configuration stays
+	// data-race-free.
 	Local anomaly.Detector
 	// LocalExecMs simulates the local execution time (window length → ms);
 	// nil charges zero, which only makes sense in unit tests.
@@ -129,6 +134,42 @@ type Device struct {
 	// policy forward pass on the IoT device, charged to policy-driven
 	// schemes.
 	PolicyOverheadMs float64
+
+	// hot, when set, overrides Local/LocalExecMs. Swapped atomically so a
+	// refreshed model goes live between windows with no lock on the hot
+	// detection path and no restart; in-flight windows finish on the
+	// detector they started with.
+	hot atomic.Pointer[hotLocal]
+}
+
+// hotLocal pairs a detector with its execution-time model so both swap in
+// one atomic store — a refreshed detector must never be billed with the old
+// detector's simulated cost.
+type hotLocal struct {
+	det    anomaly.Detector
+	execMs func(frames int) float64
+}
+
+// SwapLocal atomically replaces the device's local detector and its
+// simulated execution-time model. Windows already being judged finish on
+// the old detector; every window dispatched after the swap sees the new
+// one. A nil det clears the override, restoring the construction-time
+// fields.
+func (d *Device) SwapLocal(det anomaly.Detector, execMs func(frames int) float64) {
+	if det == nil {
+		d.hot.Store(nil)
+		return
+	}
+	d.hot.Store(&hotLocal{det: det, execMs: execMs})
+}
+
+// localState returns the live local detector and execution-time model,
+// preferring a SwapLocal override over the construction-time fields.
+func (d *Device) localState() (anomaly.Detector, func(frames int) float64) {
+	if h := d.hot.Load(); h != nil {
+		return h.det, h.execMs
+	}
+	return d.Local, d.LocalExecMs
 }
 
 // Outcome is one live detection with its delay decomposition.
@@ -152,19 +193,20 @@ type Outcome struct {
 // honours it during delays and response waits.
 func (d *Device) detectAt(ctx context.Context, l hec.Layer, frames [][]float64) (anomaly.Verdict, float64, float64, error) {
 	if l == hec.LayerIoT {
-		if d.Local == nil {
+		local, execMs := d.localState()
+		if local == nil {
 			return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: device has no local detector")
 		}
 		if err := ctx.Err(); err != nil {
 			return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: local detection abandoned: %w", err)
 		}
-		v, err := d.Local.Detect(frames)
+		v, err := local.Detect(frames)
 		if err != nil {
 			return anomaly.Verdict{}, 0, 0, fmt.Errorf("cluster: local detection: %w", err)
 		}
 		var exec float64
-		if d.LocalExecMs != nil {
-			exec = d.LocalExecMs(len(frames))
+		if execMs != nil {
+			exec = execMs(len(frames))
 		}
 		return v, exec, 0, nil
 	}

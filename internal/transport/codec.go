@@ -37,6 +37,16 @@ const (
 	// CodecVersionBinary identifies the binary fast path for hot RPCs; gob
 	// still carries OpHello, OpFetchModel and model responses.
 	CodecVersionBinary = 2
+	// CodecVersionTensor adds the model-distribution generation on top of
+	// CodecVersionBinary: the canonical binary tensor layout for model
+	// payloads (modelcodec.go), the OpModelVersion content-address probe
+	// and the chunked, resumable OpModelChunk transfer. The chunk frames
+	// themselves still travel as gob (they are provisioning traffic, not a
+	// hot RPC; the win is the tensor payload inside them), so this version
+	// gates only whether the peer understands the two new ops — and even
+	// that is advisory: an un-negotiated probe degrades through the
+	// "unknown op" reply exactly like OpHello and OpCancel before it.
+	CodecVersionTensor = 3
 )
 
 // FrameCodec turns requests and responses into frame payloads and back.

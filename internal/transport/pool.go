@@ -150,6 +150,33 @@ func (p *Pool) pick(ctx context.Context) (*Client, error) {
 	return nil, fmt.Errorf("transport: no usable connection to %s: %w", p.addr, lastErr)
 }
 
+// pickIdle returns the healthy pooled client with the shallowest pipeline
+// (fewest calls in flight), falling back to pick when no slot is alive.
+// Streaming model fetches ride it so a multi-chunk transfer never queues
+// behind a connection whose pipeline is deep with detection work — the
+// round-robin cursor is left untouched, so detection traffic keeps
+// spreading over every socket including the one the fetch chose.
+func (p *Pool) pickIdle(ctx context.Context) (*Client, error) {
+	p.mu.Lock()
+	var best *Client
+	depth := 0
+	if !p.closed {
+		for _, c := range p.slots {
+			if c == nil || c.Broken() {
+				continue
+			}
+			if d := c.InFlight(); best == nil || d < depth {
+				best, depth = c, d
+			}
+		}
+	}
+	p.mu.Unlock()
+	if best != nil {
+		return best, nil
+	}
+	return p.pick(ctx) // nothing healthy: heal a slot (or report why not)
+}
+
 // evictOnErr drops a client the caller just failed on when the failure was
 // connection-level, so the next pick redials instead of round-robining back
 // onto a dead socket. The call's own error counts even before the read
@@ -213,9 +240,12 @@ func (p *Pool) FetchModel() (*ModelSnapshot, error) {
 	return p.FetchModelContext(context.Background())
 }
 
-// FetchModelContext is FetchModel with cancellation.
+// FetchModelContext is FetchModel with cancellation. The fetch prefers the
+// idlest pooled connection — provisioning must not queue behind a deep
+// detect pipeline — and rides the chunked distribution path when the
+// server speaks it (see Client.FetchModelContext).
 func (p *Pool) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
-	c, err := p.pick(ctx)
+	c, err := p.pickIdle(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +254,64 @@ func (p *Pool) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
 		p.evictOnErr(c, err)
 	}
 	return snap, err
+}
+
+// FetchModelFullContext is the legacy whole-snapshot gob fetch over the
+// idlest pooled connection (see Client.FetchModelFullContext).
+func (p *Pool) FetchModelFullContext(ctx context.Context) (*ModelSnapshot, error) {
+	c, err := p.pickIdle(ctx)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := c.FetchModelFullContext(ctx)
+	if err != nil {
+		p.evictOnErr(c, err)
+	}
+	return snap, err
+}
+
+// RefreshModelContext is the version-aware fetch over the idlest pooled
+// connection (see Client.RefreshModelContext).
+func (p *Pool) RefreshModelContext(ctx context.Context, base *ModelSnapshot) (*ModelSnapshot, bool, error) {
+	c, err := p.pickIdle(ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	snap, upToDate, err := c.RefreshModelContext(ctx, base)
+	if err != nil {
+		p.evictOnErr(c, err)
+	}
+	return snap, upToDate, err
+}
+
+// ModelManifestContext probes the server's model content address over the
+// idlest pooled connection (see Client.ModelManifestContext).
+func (p *Pool) ModelManifestContext(ctx context.Context) (*ModelManifest, error) {
+	c, err := p.pickIdle(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.ModelManifestContext(ctx)
+	if err != nil {
+		p.evictOnErr(c, err)
+	}
+	return m, err
+}
+
+// ModelChunkContext fetches one CRC-verified slice of the server's
+// canonical model payload over the idlest pooled connection (see
+// Client.ModelChunkContext). Routing layers drive their own chunk loop
+// through it so a transfer can resume on another replica mid-stream.
+func (p *Pool) ModelChunkContext(ctx context.Context, offset, size int, want []string, wantDelta bool) (ModelChunk, error) {
+	c, err := p.pickIdle(ctx)
+	if err != nil {
+		return ModelChunk{}, err
+	}
+	ch, err := c.ModelChunkContext(ctx, offset, size, want, wantDelta)
+	if err != nil {
+		p.evictOnErr(c, err)
+	}
+	return ch, err
 }
 
 // Ping verifies the server is reachable and answering over one pooled

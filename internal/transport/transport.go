@@ -22,8 +22,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +58,14 @@ var ErrConn = errors.New("transport: connection failure")
 // without burning health/expel accounting, and pools keep the connection.
 // ErrBusy wraps ErrRemote but never ErrConn.
 var ErrBusy = errors.New("transport: server busy")
+
+// ErrUnsupported marks the subset of ErrRemote failures where the peer
+// answered an operation with "unknown op" — the protocol's standing
+// compatibility mechanism: the peer is alive and well, it just predates
+// the op. Callers degrade (a model-version probe falls back to a full gob
+// fetch) instead of failing over. ErrUnsupported wraps ErrRemote but never
+// ErrConn.
+var ErrUnsupported = errors.New("transport: operation not supported by peer")
 
 // maxMessageBytes bounds a single message; a 128×18 float64 window is
 // ~18 KB and the largest model snapshot (AE-Cloud) ~4.3 MB, so 16 MB leaves
@@ -105,6 +115,21 @@ const (
 	// op" with the cancel frame's own ID, which matches no pending call
 	// and is silently dropped — so cancel needs no negotiation.
 	OpCancel
+	// OpModelVersion asks for the server's model content address: the
+	// SHA-256 version of its canonical tensor payload plus the per-tensor
+	// digest manifest. An up-to-date client compares versions and skips the
+	// download; a stale one diffs the manifests and delta-fetches only the
+	// changed tensors. Old peers answer "unknown op" and the client falls
+	// back to the full gob fetch — no negotiation required.
+	OpModelVersion
+	// OpModelChunk fetches one bounded slice of the canonical model payload
+	// (full or delta-restricted via WantTensors), identified by byte offset
+	// and guarded by a per-chunk CRC. Each chunk is an ordinary pipelined
+	// request, so a multi-megabyte provisioning transfer interleaves with
+	// detection traffic instead of monopolizing the connection, and a
+	// client can resume at any offset — including from a different replica
+	// serving the same version.
+	OpModelChunk
 )
 
 // DetectRequest is the client→server message. ID is echoed back in the
@@ -129,6 +154,20 @@ type DetectRequest struct {
 	// TargetID is the ID of the request an OpCancel frame withdraws
 	// (OpCancel only; zero elsewhere). Gob-additive: old peers ignore it.
 	TargetID uint64
+	// ChunkOffset and ChunkSize select the slice of the canonical model
+	// payload an OpModelChunk request wants: ChunkSize 0 asks for the
+	// server's default (DefaultModelChunkBytes). Gob-additive, zero outside
+	// OpModelChunk.
+	ChunkOffset int
+	ChunkSize   int
+	// WantDelta marks an OpModelChunk request as a delta fetch: the payload
+	// is restricted to the tensors named in WantTensors (possibly none —
+	// a header-only delta still refreshes the scorer and threshold). When
+	// false the full payload is served and WantTensors is ignored; the
+	// explicit flag exists because gob cannot distinguish an empty slice
+	// from an absent one.
+	WantDelta   bool
+	WantTensors []string
 }
 
 // Response codes carried in DetectResponse.Code, distinguishing error
@@ -174,6 +213,23 @@ type DetectResponse struct {
 	// including every pre-scheduler peer, since the field is gob-additive
 	// and hello frames always travel as gob).
 	Sched *SchedInfo
+	// ModelVersion is the content address (hex SHA-256 of the canonical
+	// tensor payload) of the model the server currently serves. Carried on
+	// OpHello, OpModelVersion and OpModelChunk responses; empty when the
+	// server holds no distributable model or predates the field
+	// (gob-additive).
+	ModelVersion string
+	// Manifest is the per-tensor digest manifest (OpModelVersion only).
+	Manifest *ModelManifest
+	// ChunkOffset/ChunkTotal/Chunk/ChunkCRC carry one slice of the
+	// canonical model payload on OpModelChunk responses: the echoed byte
+	// offset, the total payload length for the requested tensor set, the
+	// slice itself and its CRC-32 (IEEE). A client resumes by asking for
+	// offset len(assembled) — on any replica whose ModelVersion matches.
+	ChunkOffset int
+	ChunkTotal  int
+	Chunk       []byte
+	ChunkCRC    uint32
 }
 
 // SchedInfo is a scheduling server's backlog snapshot as carried on
@@ -318,9 +374,11 @@ type ServerOptions struct {
 	// Model, if non-nil, is served to peers on OpFetchModel.
 	Model *ModelSnapshot
 	// MaxCodecVersion caps what the server concedes during OpHello
-	// negotiation; 0 means CodecVersionBinary (the newest). Setting
-	// CodecVersionGob makes the server behave like a pre-binary build,
-	// which is how the compatibility matrix is tested without one.
+	// negotiation; 0 means CodecVersionTensor (the newest). Setting
+	// CodecVersionGob makes the server behave like a pre-binary build, and
+	// CodecVersionBinary like a pre-distribution build (which also answers
+	// the model-distribution ops with "unknown op") — which is how the
+	// compatibility matrix is tested without old binaries.
 	MaxCodecVersion uint8
 	// Sched, if non-nil, puts the node's detection work under a server-side
 	// scheduler: a global concurrency limit with a bounded, policy-ordered
@@ -337,9 +395,11 @@ type ServerOptions struct {
 // per-connection write lock), so a slow detection does not block requests
 // pipelined behind it.
 type Server struct {
-	detector anomaly.Detector
-	execMs   func(frames int) float64
-	model    *ModelSnapshot
+	// serving holds the detector, compute model and distributable snapshot
+	// behind one atomic pointer, so UpdateModel can hot-swap a refreshed
+	// model with zero restarts: requests in flight finish on the detector
+	// they loaded, new requests see the new one, and nothing locks.
+	serving  atomic.Pointer[serving]
 	maxCodec uint8
 
 	// sched, when non-nil, gates every detection request through the
@@ -373,7 +433,7 @@ func ServeWith(addr string, det anomaly.Detector, opt ServerOptions) (*Server, e
 	}
 	maxCodec := opt.MaxCodecVersion
 	if maxCodec == 0 {
-		maxCodec = CodecVersionBinary
+		maxCodec = CodecVersionTensor
 	}
 	var schd *sched.Scheduler
 	if opt.Sched != nil {
@@ -387,12 +447,97 @@ func ServeWith(addr string, det anomaly.Detector, opt ServerOptions) (*Server, e
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		detector: det, execMs: opt.ExecMs, model: opt.Model, maxCodec: maxCodec,
-		sched: schd, lis: lis, conns: make(map[net.Conn]struct{}),
+		maxCodec: maxCodec,
+		sched:    schd, lis: lis, conns: make(map[net.Conn]struct{}),
 	}
+	s.serving.Store(newServing(det, opt.ExecMs, opt.Model))
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// serving is the server's swappable model state: everything a request
+// handler reads is loaded once per request from the atomic pointer.
+type serving struct {
+	detector anomaly.Detector
+	execMs   func(frames int) float64
+	model    *ModelSnapshot
+	// dist is the distribution view of model: the canonical payload, its
+	// content address and per-tensor manifest, plus a memo of delta
+	// payloads already cut for popular want-lists. Nil when the snapshot
+	// cannot be canonically encoded (or there is none) — the legacy gob
+	// fetch still works, the distribution ops report no model.
+	dist *distState
+}
+
+type distState struct {
+	payload  []byte
+	manifest *ModelManifest
+
+	mu     sync.Mutex
+	deltas map[string][]byte
+}
+
+// newServing builds the serving state, canonically encoding the snapshot
+// once so version probes and chunk requests serve cached bytes.
+func newServing(det anomaly.Detector, execMs func(int) float64, snap *ModelSnapshot) *serving {
+	sv := &serving{detector: det, execMs: execMs, model: snap}
+	if snap != nil {
+		if payload, manifest, err := encodeModel(snap, nil); err == nil {
+			sv.dist = &distState{payload: payload, manifest: manifest, deltas: make(map[string][]byte)}
+		}
+	}
+	return sv
+}
+
+// deltaPayload returns the canonical payload restricted to want, memoized
+// per want-list: a fleet of nodes upgrading across the same two versions
+// all ask for the same tensors.
+func (d *distState) deltaPayload(snap *ModelSnapshot, want []string) ([]byte, error) {
+	key := strings.Join(want, "\x00")
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.deltas[key]; ok {
+		return p, nil
+	}
+	p, err := EncodeModel(snap, want)
+	if err != nil {
+		return nil, err
+	}
+	d.deltas[key] = p
+	return p, nil
+}
+
+// UpdateModel hot-swaps the detector the server runs and the snapshot it
+// distributes, with zero restarts: in-flight requests finish on the old
+// detector, every later request (and every version probe) sees the new one.
+// execMs nil keeps the current compute model — the common case when a
+// refreshed model has the same architecture. The snapshot is canonically
+// encoded before the swap, so a snapshot the codec rejects leaves the
+// server serving its previous model.
+func (s *Server) UpdateModel(det anomaly.Detector, execMs func(frames int) float64, snap *ModelSnapshot) error {
+	if det == nil {
+		return errors.New("transport: UpdateModel requires a detector")
+	}
+	if snap != nil {
+		if _, err := EncodeModel(snap, nil); err != nil {
+			return fmt.Errorf("transport: refusing to serve snapshot: %w", err)
+		}
+	}
+	if execMs == nil {
+		execMs = s.serving.Load().execMs
+	}
+	s.serving.Store(newServing(det, execMs, snap))
+	return nil
+}
+
+// ModelVersion returns the content address of the model the server is
+// currently distributing ("" when none).
+func (s *Server) ModelVersion() string {
+	if sv := s.serving.Load(); sv.dist != nil {
+		return sv.dist.manifest.Version
+	}
+	return ""
 }
 
 // Addr returns the server's bound address.
@@ -622,11 +767,13 @@ func (s *Server) SchedStats() (st sched.Stats, ok bool) {
 func (s *Server) handle(req *DetectRequest) *DetectResponse {
 	// Deadline shedding: if the client's propagated deadline has already
 	// passed, the response cannot be useful no matter how fast detection
-	// runs — skip the detector entirely and tell the client why. FetchModel
-	// is exempt (model shipping is a provisioning step, not a live-path
-	// detection whose answer goes stale), as is the hello/ping (negotiation
-	// is not detection work).
+	// runs — skip the detector entirely and tell the client why. The
+	// model-distribution ops (fetch, version probe, chunk) are exempt
+	// (model shipping is a provisioning step, not a live-path detection
+	// whose answer goes stale), as is the hello/ping (negotiation is not
+	// detection work).
 	if req.DeadlineUnixMicro > 0 && req.Op != OpFetchModel && req.Op != OpHello &&
+		req.Op != OpModelVersion && req.Op != OpModelChunk &&
 		time.Now().UnixMicro() > req.DeadlineUnixMicro {
 		return &DetectResponse{
 			ID:   req.ID,
@@ -634,17 +781,25 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 			Err:  "deadline expired before processing; work shed",
 		}
 	}
+	// A server capped below CodecVersionTensor plays a pre-distribution
+	// build for the compatibility matrix: the new ops must look exactly
+	// like they would against one — the generic "unknown op" reply that
+	// clients degrade on.
+	if (req.Op == OpModelVersion || req.Op == OpModelChunk) && s.maxCodec < CodecVersionTensor {
+		return &DetectResponse{ID: req.ID, Err: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+	sv := s.serving.Load()
 	switch req.Op {
 	case OpDetect:
 		start := time.Now()
-		v, err := s.detector.Detect(req.Frames)
+		v, err := sv.detector.Detect(req.Frames)
 		proc := float64(time.Since(start)) / float64(time.Millisecond)
 		if err != nil {
 			return &DetectResponse{ID: req.ID, ProcMs: proc, Err: err.Error()}
 		}
 		exec := proc
-		if s.execMs != nil {
-			exec = s.execMs(len(req.Frames))
+		if sv.execMs != nil {
+			exec = sv.execMs(len(req.Frames))
 		}
 		return &DetectResponse{ID: req.ID, Verdict: v, ExecMs: exec, ProcMs: proc}
 	case OpDetectBatch:
@@ -652,15 +807,15 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 			return &DetectResponse{ID: req.ID, Err: "empty detection batch"}
 		}
 		start := time.Now()
-		vs, err := anomaly.DetectAll(s.detector, req.Windows)
+		vs, err := anomaly.DetectAll(sv.detector, req.Windows)
 		proc := float64(time.Since(start)) / float64(time.Millisecond)
 		if err != nil {
 			return &DetectResponse{ID: req.ID, ProcMs: proc, Err: err.Error()}
 		}
 		execEach := make([]float64, len(req.Windows))
 		for i, w := range req.Windows {
-			if s.execMs != nil {
-				execEach[i] = s.execMs(len(w))
+			if sv.execMs != nil {
+				execEach[i] = sv.execMs(len(w))
 			} else {
 				// No compute model: split the measured handling time evenly.
 				execEach[i] = proc / float64(len(req.Windows))
@@ -668,10 +823,18 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 		}
 		return &DetectResponse{ID: req.ID, Verdicts: vs, ExecMsEach: execEach, ProcMs: proc}
 	case OpFetchModel:
-		if s.model == nil {
+		if sv.model == nil {
 			return &DetectResponse{ID: req.ID, Err: "no model snapshot available on this node"}
 		}
-		return &DetectResponse{ID: req.ID, Model: s.model}
+		return &DetectResponse{ID: req.ID, Model: sv.model}
+	case OpModelVersion:
+		if sv.dist == nil {
+			return &DetectResponse{ID: req.ID, Err: "no model snapshot available on this node"}
+		}
+		return &DetectResponse{ID: req.ID,
+			ModelVersion: sv.dist.manifest.Version, Manifest: sv.dist.manifest}
+	case OpModelChunk:
+		return s.handleModelChunk(sv, req)
 	case OpHello:
 		v := req.CodecVersion
 		if v > s.maxCodec {
@@ -681,6 +844,12 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 			v = CodecVersionGob
 		}
 		resp := &DetectResponse{ID: req.ID, CodecVersion: v}
+		if sv.dist != nil && s.maxCodec >= CodecVersionTensor {
+			// Carry the model's content address on the hello, so health
+			// probes double as staleness probes: a watcher node learns a
+			// new version landed without a dedicated RPC.
+			resp.ModelVersion = sv.dist.manifest.Version
+		}
 		if s.sched != nil {
 			// Piggyback the scheduling backlog on the hello so health
 			// probes double as backlog collectors. Hello responses always
@@ -696,6 +865,46 @@ func (s *Server) handle(req *DetectRequest) *DetectResponse {
 		return resp
 	default:
 		return &DetectResponse{ID: req.ID, Err: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+}
+
+// handleModelChunk serves one bounded slice of the canonical model payload.
+// The server is stateless across chunks — the request names the byte range,
+// the response names the version the bytes belong to — which is what makes
+// the transfer resumable on any replica serving the same version.
+func (s *Server) handleModelChunk(sv *serving, req *DetectRequest) *DetectResponse {
+	if sv.dist == nil {
+		return &DetectResponse{ID: req.ID, Err: "no model snapshot available on this node"}
+	}
+	payload := sv.dist.payload
+	if req.WantDelta {
+		var err error
+		if payload, err = sv.dist.deltaPayload(sv.model, req.WantTensors); err != nil {
+			return &DetectResponse{ID: req.ID, Err: err.Error()}
+		}
+	}
+	if req.ChunkOffset < 0 || req.ChunkOffset > len(payload) {
+		return &DetectResponse{ID: req.ID,
+			Err: fmt.Sprintf("chunk offset %d outside payload of %d bytes", req.ChunkOffset, len(payload))}
+	}
+	size := req.ChunkSize
+	if size <= 0 {
+		size = DefaultModelChunkBytes
+	}
+	if size > maxModelChunkBytes {
+		size = maxModelChunkBytes
+	}
+	if rem := len(payload) - req.ChunkOffset; size > rem {
+		size = rem
+	}
+	chunk := payload[req.ChunkOffset : req.ChunkOffset+size]
+	return &DetectResponse{
+		ID:           req.ID,
+		ModelVersion: sv.dist.manifest.Version,
+		ChunkOffset:  req.ChunkOffset,
+		ChunkTotal:   len(payload),
+		Chunk:        chunk,
+		ChunkCRC:     crc32.ChecksumIEEE(chunk),
 	}
 }
 
@@ -821,7 +1030,11 @@ type Client struct {
 	conn   net.Conn
 	oneWay time.Duration
 	serial bool
-	binary atomic.Bool // negotiated: hot RPCs ride the binary codec
+	// codecVer is the codec version OpHello negotiated (0 before/without
+	// negotiation = gob). At CodecVersionBinary+ the hot RPCs ride the
+	// binary codec; at CodecVersionTensor+ model fetches ride the chunked
+	// canonical-tensor path.
+	codecVer atomic.Uint32
 
 	serialMu sync.Mutex // held across a whole call in Serial mode only
 	wmu      sync.Mutex // serialises request writes; guards encBuf
@@ -895,7 +1108,7 @@ func DialContext(ctx context.Context, addr string, opt DialOptions) (*Client, er
 func (c *Client) negotiate(ctx context.Context) error {
 	hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
-	resp, err := c.do(hctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionBinary})
+	resp, err := c.do(hctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionTensor})
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			// The *caller* abandoned the dial (cancel or their own
@@ -906,14 +1119,24 @@ func (c *Client) negotiate(ctx context.Context) error {
 		return fmt.Errorf("transport: codec negotiation failed: %v (%w)", err, connError())
 	}
 	if resp.Err == "" && resp.CodecVersion >= CodecVersionBinary {
-		c.binary.Store(true)
+		c.codecVer.Store(uint32(resp.CodecVersion))
 	}
 	return nil
 }
 
 // Binary reports whether the connection negotiated the binary codec for
 // its hot RPCs.
-func (c *Client) Binary() bool { return c.binary.Load() }
+func (c *Client) Binary() bool { return c.codecVer.Load() >= CodecVersionBinary }
+
+// InFlight reports how many calls are currently awaiting responses on this
+// connection — the pipeline depth. Pools prefer idle connections for
+// streaming model fetches so provisioning never queues behind a deep
+// detection pipeline.
+func (c *Client) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
 
 // readLoop routes responses to their waiting callers by request ID. On any
 // read error it fails every pending call and exits; the client is unusable
@@ -1007,7 +1230,7 @@ func (c *Client) do(ctx context.Context, req *DetectRequest) (*DetectResponse, e
 
 	// Hot detection RPCs ride the negotiated binary codec; everything else
 	// (hello, model shipping) stays gob, which every peer decodes.
-	useBinary := c.binary.Load() && (req.Op == OpDetect || req.Op == OpDetectBatch)
+	useBinary := c.Binary() && (req.Op == OpDetect || req.Op == OpDetectBatch)
 	c.wmu.Lock()
 	var encErr, writeErr error
 	if useBinary {
@@ -1134,6 +1357,12 @@ func remoteError(op string, resp *DetectResponse) error {
 	if resp.Code == CodeBusy {
 		return fmt.Errorf("transport: %s: %s: %w (%w)", op, resp.Err, ErrBusy, ErrRemote)
 	}
+	if strings.HasPrefix(resp.Err, "unknown op") {
+		// The generic reply every server gives an op it predates — the
+		// wire-level compatibility contract since OpHello (see PROTOCOL.md),
+		// so matching it is protocol, not string-guessing.
+		return fmt.Errorf("transport: %s: %s: %w (%w)", op, resp.Err, ErrUnsupported, ErrRemote)
+	}
 	return fmt.Errorf("transport: %s: %s (%w)", op, resp.Err, ErrRemote)
 }
 
@@ -1218,13 +1447,36 @@ func (c *Client) FetchModel() (*ModelSnapshot, error) {
 	return c.FetchModelContext(context.Background())
 }
 
-// FetchModelContext is FetchModel with cancellation. Model shipping skips
-// the injected link-delay emulation (as before) but still honours ctx while
-// waiting for the (multi-megabyte) snapshot to arrive; the wire deadline is
-// not used for shedding here because provisioning work is still useful to
-// a retrying caller. Model frames always travel as gob regardless of the
-// negotiated codec.
+// FetchModelContext is FetchModel with cancellation. Against a peer that
+// negotiated CodecVersionTensor the snapshot arrives as the canonical
+// binary tensor payload in bounded chunks — CRC-checked, hash-verified
+// against its content address, and interleaved with any detection traffic
+// pipelined on the same connection. Against older peers (or when the
+// distribution path reports an application error) it degrades to the
+// legacy whole-snapshot gob fetch. The wire deadline is not used for
+// shedding here because provisioning work is still useful to a retrying
+// caller.
 func (c *Client) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) {
+	if c.codecVer.Load() >= CodecVersionTensor {
+		snap, err := c.fetchChunkedFull(ctx)
+		if err == nil {
+			return snap, nil
+		}
+		if errors.Is(err, ErrConn) || ctx.Err() != nil {
+			return nil, err
+		}
+		// Application-level failure on the distribution path (e.g. the
+		// snapshot predates canonical encoding): the legacy RPC is still
+		// authoritative.
+	}
+	return c.FetchModelFullContext(ctx)
+}
+
+// FetchModelFullContext is the legacy model-shipping RPC: the whole
+// snapshot in one gob frame, regardless of the negotiated codec. It is the
+// path old peers are served by and the fallback the distribution path
+// degrades to.
+func (c *Client) FetchModelFullContext(ctx context.Context) (*ModelSnapshot, error) {
 	resp, err := c.do(ctx, &DetectRequest{Op: OpFetchModel})
 	if err != nil {
 		return nil, err
@@ -1236,6 +1488,189 @@ func (c *Client) FetchModelContext(ctx context.Context) (*ModelSnapshot, error) 
 		return nil, fmt.Errorf("transport: peer returned an empty model snapshot (%w)", ErrRemote)
 	}
 	return resp.Model, nil
+}
+
+// ErrModelChanged reports that the server's model version changed while a
+// chunked transfer was assembling — the server hot-swapped a refreshed
+// model mid-fetch. The partial assembly is useless (chunks of two versions
+// don't mix); callers restart from a fresh version probe. It does not wrap
+// ErrConn: the replica is healthy, the model is just newer.
+var ErrModelChanged = errors.New("transport: model version changed during transfer")
+
+// ModelChunk is one verified slice of a canonical model payload.
+type ModelChunk struct {
+	// Version is the content address the bytes belong to.
+	Version string
+	// Offset/Total locate the slice within the payload.
+	Offset, Total int
+	// Data is the slice itself (CRC already verified).
+	Data []byte
+}
+
+// ModelManifestContext asks the peer for its model's content address and
+// per-tensor digest manifest (OpModelVersion). A peer that predates the op
+// fails with ErrUnsupported — the caller degrades to a full fetch.
+func (c *Client) ModelManifestContext(ctx context.Context) (*ModelManifest, error) {
+	resp, err := c.do(ctx, &DetectRequest{Op: OpModelVersion})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, remoteError("probing model version", resp)
+	}
+	if resp.Manifest == nil || resp.ModelVersion == "" {
+		return nil, fmt.Errorf("transport: peer returned an empty model manifest (%w)", ErrRemote)
+	}
+	return resp.Manifest, nil
+}
+
+// ModelChunkContext fetches one slice of the canonical model payload at
+// offset (size 0 = server default; want/wantDelta select a delta payload).
+// The chunk's CRC is verified here: a mismatch means the byte stream can no
+// longer be trusted, so it classifies as a connection failure and routing
+// layers resume the transfer on another replica.
+func (c *Client) ModelChunkContext(ctx context.Context, offset, size int, want []string, wantDelta bool) (ModelChunk, error) {
+	resp, err := c.do(ctx, &DetectRequest{
+		Op: OpModelChunk, ChunkOffset: offset, ChunkSize: size,
+		WantDelta: wantDelta, WantTensors: want,
+	})
+	if err != nil {
+		return ModelChunk{}, err
+	}
+	if resp.Err != "" {
+		return ModelChunk{}, remoteError("fetching model chunk", resp)
+	}
+	if crc32.ChecksumIEEE(resp.Chunk) != resp.ChunkCRC {
+		return ModelChunk{}, fmt.Errorf("transport: model chunk at offset %d failed its CRC %w", offset, connError())
+	}
+	return ModelChunk{Version: resp.ModelVersion, Offset: resp.ChunkOffset, Total: resp.ChunkTotal, Data: resp.Chunk}, nil
+}
+
+// AssembleModel drives a chunked transfer to completion: fetch is called
+// with the next byte offset until the assembled payload reaches the total,
+// resuming wherever the previous chunk left off — across calls, and (when
+// fetch routes through a failover layer) across replicas, since the server
+// keeps no per-transfer state. A chunk carrying a different version than
+// the assembly started with fails with ErrModelChanged; the caller
+// re-probes and restarts.
+func AssembleModel(ctx context.Context, fetch func(ctx context.Context, offset int) (ModelChunk, error)) ([]byte, string, error) {
+	var buf []byte
+	version := ""
+	total := -1
+	for {
+		ch, err := fetch(ctx, len(buf))
+		if err != nil {
+			return nil, "", err
+		}
+		if version == "" {
+			version, total = ch.Version, ch.Total
+		}
+		if ch.Version != version {
+			return nil, "", fmt.Errorf("assembling %.8s, got a chunk of %.8s: %w", version, ch.Version, ErrModelChanged)
+		}
+		if ch.Offset != len(buf) || ch.Total != total || len(buf)+len(ch.Data) > total {
+			return nil, "", fmt.Errorf("transport: model chunk stream inconsistent (offset %d/%d, total %d/%d) (%w)",
+				ch.Offset, len(buf), ch.Total, total, ErrRemote)
+		}
+		if len(ch.Data) == 0 && len(buf) < total {
+			return nil, "", fmt.Errorf("transport: empty model chunk at offset %d of %d (%w)", len(buf), total, ErrRemote)
+		}
+		buf = append(buf, ch.Data...)
+		if len(buf) >= total {
+			return buf, version, nil
+		}
+	}
+}
+
+// fetchChunkedFull fetches the complete canonical payload chunk by chunk
+// and verifies the assembled bytes hash to the advertised version before
+// decoding. A version swap mid-transfer restarts the assembly (bounded).
+func (c *Client) fetchChunkedFull(ctx context.Context) (*ModelSnapshot, error) {
+	for attempt := 0; ; attempt++ {
+		payload, version, err := AssembleModel(ctx, func(ctx context.Context, off int) (ModelChunk, error) {
+			return c.ModelChunkContext(ctx, off, 0, nil, false)
+		})
+		if errors.Is(err, ErrModelChanged) && attempt < 2 {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hexDigest(payload) != version {
+			if attempt < 2 {
+				continue
+			}
+			return nil, fmt.Errorf("transport: assembled payload hashes to %.8s, peer advertised %.8s (%w)",
+				hexDigest(payload), version, ErrRemote)
+		}
+		return DecodeModel(payload)
+	}
+}
+
+// RefreshModelContext is the version-aware fetch: given the snapshot the
+// caller currently runs (nil for none), it probes the peer's content
+// address and either skips the download entirely (versions match —
+// upToDate true, nil snapshot), ships a delta of only the changed tensors
+// merged over base, or falls back to a full fetch (first provisioning,
+// architecture change, or a peer that predates distribution). The returned
+// snapshot is always hash-verified against the peer's advertised version.
+func (c *Client) RefreshModelContext(ctx context.Context, base *ModelSnapshot) (*ModelSnapshot, bool, error) {
+	var baseMan *ModelManifest
+	if base != nil {
+		if m, err := ManifestOf(base); err == nil {
+			baseMan = m
+		}
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		man, err := c.ModelManifestContext(ctx)
+		if errors.Is(err, ErrUnsupported) {
+			// Old peer: the probe itself is the negotiation — degrade to
+			// the legacy full fetch.
+			snap, ferr := c.FetchModelFullContext(ctx)
+			return snap, false, ferr
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		if baseMan != nil && man.Version == baseMan.Version {
+			return nil, true, nil
+		}
+		want := man.Diff(baseMan)
+		wantDelta := baseMan != nil
+		payload, version, err := AssembleModel(ctx, func(ctx context.Context, off int) (ModelChunk, error) {
+			return c.ModelChunkContext(ctx, off, 0, want, wantDelta)
+		})
+		if errors.Is(err, ErrModelChanged) || (err == nil && version != man.Version) {
+			continue // the server swapped models mid-fetch; re-probe
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		snap, err := DecodeModel(payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if wantDelta {
+			merged, mergeErr := MergeModel(base, snap)
+			if mergeErr == nil {
+				if man2, err := ManifestOf(merged); err == nil && man2.Version == man.Version {
+					return merged, false, nil
+				}
+			}
+			// The delta doesn't reconstruct the advertised version (the
+			// architecture changed under the same tensor names, or base
+			// and server disagree structurally): a full fetch is always
+			// sound.
+			snap, err := c.fetchChunkedFull(ctx)
+			return snap, false, err
+		}
+		if man2, err := ManifestOf(snap); err != nil || man2.Version != man.Version {
+			return nil, false, fmt.Errorf("transport: fetched model does not hash to advertised version %.8s (%w)",
+				man.Version, ErrRemote)
+		}
+		return snap, false, nil
+	}
+	return nil, false, fmt.Errorf("transport: model version kept changing during refresh: %w", ErrModelChanged)
 }
 
 // Ping verifies the peer is alive and answering: it sends an OpHello and
@@ -1263,6 +1698,11 @@ type PeerStatus struct {
 	Busy       uint64
 	Expired    uint64
 	Canceled   uint64
+	// ModelVersion is the content address of the model the peer currently
+	// distributes, piggybacked on the hello ("" from peers without a
+	// distributable model or predating the field) — so a liveness probe
+	// doubles as a staleness probe.
+	ModelVersion string
 }
 
 // PingStatus is Ping returning the peer's scheduling backlog as
@@ -1270,17 +1710,19 @@ type PeerStatus struct {
 // and "how loaded?". The same compatibility contract as Ping: any
 // well-formed response counts as alive.
 func (c *Client) PingStatus(ctx context.Context) (PeerStatus, error) {
-	resp, err := c.do(ctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionBinary})
-	if err != nil || resp.Sched == nil {
+	resp, err := c.do(ctx, &DetectRequest{Op: OpHello, CodecVersion: CodecVersionTensor})
+	if err != nil {
 		return PeerStatus{}, err
 	}
-	return PeerStatus{
-		Scheduled:  true,
-		QueueDepth: resp.Sched.QueueDepth,
-		Busy:       resp.Sched.Busy,
-		Expired:    resp.Sched.Expired,
-		Canceled:   resp.Sched.Canceled,
-	}, nil
+	st := PeerStatus{ModelVersion: resp.ModelVersion}
+	if resp.Sched != nil {
+		st.Scheduled = true
+		st.QueueDepth = resp.Sched.QueueDepth
+		st.Busy = resp.Sched.Busy
+		st.Expired = resp.Sched.Expired
+		st.Canceled = resp.Sched.Canceled
+	}
+	return st, nil
 }
 
 // Close closes the connection; pending calls fail and Broken reports true.

@@ -392,11 +392,18 @@ type Detection struct {
 type Session struct {
 	scheme Scheme
 	dev    *cluster.Device
+	dep    *hec.Deployment
 
-	mu     sync.Mutex
-	owned  []io.Closer
-	ctls   []*autoscale.Controller
-	closed bool
+	// refreshMu serialises RefreshModel calls so concurrent refreshes
+	// cannot interleave fetch-and-swap; it is never held on the detection
+	// path.
+	refreshMu sync.Mutex
+
+	mu       sync.Mutex
+	owned    []io.Closer
+	ctls     []*autoscale.Controller
+	baseSnap *transport.ModelSnapshot // last snapshot applied by RefreshModel
+	closed   bool
 }
 
 // Open starts a streaming detection session over the system using the
@@ -436,6 +443,7 @@ func (s *System) Open(scheme Scheme, opts ...SessionOption) (*Session, error) {
 	}
 	sess := &Session{
 		scheme: scheme,
+		dep:    s.Deployment,
 		dev: &cluster.Device{
 			Local:            localDet,
 			LocalExecMs:      localExec,
@@ -593,6 +601,65 @@ func (s *Session) DetectBatch(ctx context.Context, windows [][][]float64) ([]Det
 		dets[i] = fromOutcome(out)
 	}
 	return dets, nil
+}
+
+// modelRefresher is the version-aware fetch shape RefreshModel rides:
+// *transport.Client, *transport.Pool and *routing.ReplicaSet all satisfy
+// it, so a session can refresh from a single connection, a pool, or a
+// whole health-checked replica set with mid-transfer failover.
+type modelRefresher interface {
+	RefreshModelContext(ctx context.Context, base *transport.ModelSnapshot) (*transport.ModelSnapshot, bool, error)
+}
+
+// RefreshModel asks the given tier for its current detector snapshot and
+// hot-swaps the session's local (IoT-tier) detector when the tier holds a
+// different version. The fetch is content-addressed and incremental: the
+// session remembers the last snapshot it applied, so an unchanged tier
+// costs one version probe and a changed tier ships only the tensors whose
+// hashes differ (servers predating the distribution protocol degrade to a
+// whole-snapshot fetch). The swap is atomic and restart-free — windows
+// streaming through Detect/DetectBatch keep flowing, in-flight ones
+// finishing on the old detector — and the refreshed detector's simulated
+// execution time is recalibrated from the topology model. Returns whether
+// a swap happened; tiers served in-process cannot provide snapshots and
+// return ErrBadInput. Safe for concurrent use; concurrent calls serialise.
+func (s *Session) RefreshModel(ctx context.Context, from Layer) (bool, error) {
+	if err := s.usable("refresh model"); err != nil {
+		return false, err
+	}
+	if from <= hec.LayerIoT || from >= hec.NumLayers {
+		return false, badInput("refresh model", "layer %v cannot serve models (only %v and %v can)",
+			from, hec.LayerEdge, hec.LayerCloud)
+	}
+	ref, ok := s.dev.Remotes[from].(modelRefresher)
+	if !ok {
+		return false, badInput("refresh model", "layer %v is served in-process and has no model endpoint", from)
+	}
+	s.refreshMu.Lock()
+	defer s.refreshMu.Unlock()
+	s.mu.Lock()
+	base := s.baseSnap
+	s.mu.Unlock()
+	snap, upToDate, err := ref.RefreshModelContext(ctx, base)
+	if err != nil {
+		return false, wrapErr("refresh model", err)
+	}
+	if upToDate {
+		return false, nil
+	}
+	det, recurrent, err := cluster.RestoreDetector(snap)
+	if err != nil {
+		return false, wrapErr("refresh model", err)
+	}
+	execMs, err := s.dep.Topology.ExecTimeFunc(hec.LayerIoT, det, recurrent)
+	if err != nil {
+		return false, wrapErr("refresh model", err)
+	}
+	s.dev.SwapLocal(det, execMs)
+	s.mu.Lock()
+	s.baseSnap = snap
+	s.mu.Unlock()
+	return true, nil
 }
 
 // Close releases every connection the session dialed itself (remotes

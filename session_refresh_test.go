@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/hec"
+	"repro/internal/transport"
+)
+
+// TestSessionRefreshModel is the end-to-end hot-swap test: a session
+// streaming local (IoT-tier) detections pulls a refreshed detector from a
+// model-serving tier and swaps it in with zero restarts. The refreshed
+// snapshot carries a cranked detection threshold, so the swap is observable
+// as a verdict flip on the same window; a second refresh against the
+// unchanged tier must skip the download entirely (version match).
+func TestSessionRefreshModel(t *testing.T) {
+	sys := fastUniSystem(t)
+	det := sys.Deployment.Detectors[hec.LayerIoT]
+
+	snap, err := cluster.SnapshotDetector(det, "IoT", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := transport.ServeWith("127.0.0.1:0", det, transport.ServerOptions{Model: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	sess, err := sys.Open(SchemeIoT, WithRemoteAddr(LayerCloud, srv.Addr(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	ctx := context.Background()
+	win := sys.TestSamples[0].Frames
+
+	before, err := sess.Detect(ctx, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First refresh: the session holds no distributed snapshot yet, so the
+	// full model ships. The served snapshot equals the deployed detector,
+	// so verdicts must not change across the swap.
+	updated, err := sess.RefreshModel(ctx, LayerCloud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated {
+		t.Fatal("first refresh must ship and apply a model")
+	}
+	after, err := sess.Detect(ctx, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Anomaly != before.Anomaly || after.Confident != before.Confident {
+		t.Fatalf("identical model changed the verdict across the swap: %+v vs %+v", after, before)
+	}
+
+	// Steady state: same version on both ends, nothing ships, no swap.
+	if updated, err = sess.RefreshModel(ctx, LayerCloud); err != nil || updated {
+		t.Fatalf("steady-state refresh: updated=%v err=%v, want false nil", updated, err)
+	}
+
+	// The tier rolls to a recalibrated model: same weights, a threshold so
+	// high every window judges anomalous. The delta ships zero tensors
+	// (header only) and the swap must flip the verdict on the live session.
+	retuned, err := cluster.SnapshotDetector(det, "IoT", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retuned.Scorer.Threshold = 1e18
+	if err := srv.UpdateModel(det, nil, retuned); err != nil {
+		t.Fatal(err)
+	}
+	if updated, err = sess.RefreshModel(ctx, LayerCloud); err != nil || !updated {
+		t.Fatalf("post-update refresh: updated=%v err=%v, want true nil", updated, err)
+	}
+	flipped, err := sess.Detect(ctx, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flipped.Anomaly {
+		t.Fatalf("cranked threshold did not flip the verdict: %+v", flipped)
+	}
+	if flipped.Layer != LayerIoT {
+		t.Fatalf("refreshed detection ran at %v, want local", flipped.Layer)
+	}
+
+	// Layers that cannot serve models are ErrBadInput, not panics.
+	if _, err := sess.RefreshModel(ctx, LayerIoT); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("IoT-layer refresh: err = %v, want ErrBadInput", err)
+	}
+	if _, err := sess.RefreshModel(ctx, LayerEdge); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("in-process tier refresh: err = %v, want ErrBadInput", err)
+	}
+}
